@@ -1,0 +1,65 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunSingleExperimentQuick(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-run", "E14", "-quick"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "E14") || !strings.Contains(out, "Lemma 8") {
+		t.Fatalf("unexpected output:\n%s", out)
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if err := run([]string{"-run", "E99"}, io.Discard); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestWriteMarkdownFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.md")
+	if err := run([]string{"-run", "E12", "-quick", "-writefile", path}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	md := string(data)
+	for _, want := range []string{"# EXPERIMENTS", "### E12", "Lemma 17"} {
+		if !strings.Contains(md, want) {
+			t.Fatalf("markdown missing %q", want)
+		}
+	}
+}
+
+func TestWriteCSVDir(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-run", "E14", "-quick", "-csvdir", dir}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 { // E14 emits three tables
+		t.Fatalf("wrote %d CSVs, want 3", len(entries))
+	}
+	data, err := os.ReadFile(filepath.Join(dir, "e14_0.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "grid points") {
+		t.Fatalf("csv content wrong: %s", data)
+	}
+}

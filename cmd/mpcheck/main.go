@@ -1,0 +1,167 @@
+// Command mpcheck decides whether a noise matrix is
+// (ε,δ)-majority-preserving (Definition 2 of the paper) using the
+// exact Section-4 linear program, and reports the worst-case witness
+// distribution.
+//
+// The matrix is read as k lines of k whitespace-separated row
+// probabilities from stdin or from -file:
+//
+//	$ printf '0.6 0.4 0\n0 0.6 0.4\n0.4 0 0.6\n' | mpcheck -eps 0.1 -delta 0.1
+//
+// Built-in example matrices can be selected with -builtin.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/gossipkit/noisyrumor"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "mpcheck:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, stdin io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("mpcheck", flag.ContinueOnError)
+	var (
+		eps     = fs.Float64("eps", 0.1, "ε of the (ε,δ)-m.p. property")
+		delta   = fs.Float64("delta", 0.1, "δ of the (ε,δ)-m.p. property")
+		opinion = fs.Int("opinion", -1, "check w.r.t. this opinion only (-1 = all)")
+		file    = fs.String("file", "", "read the matrix from this file instead of stdin")
+		builtin = fs.String("builtin", "", "use a built-in matrix: uniform:k:eps | cycle:k:eps | binary:eps | reset:k:rho")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	var nm *noisyrumor.NoiseMatrix
+	var err error
+	switch {
+	case *builtin != "":
+		nm, err = parseBuiltin(*builtin)
+	case *file != "":
+		var f *os.File
+		f, err = os.Open(*file)
+		if err == nil {
+			defer f.Close()
+			nm, err = readMatrix(f)
+		}
+	default:
+		nm, err = readMatrix(stdin)
+	}
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "matrix (k=%d):\n%s", nm.K(), nm)
+	if e, ok := nm.SufficientMP(*delta); ok {
+		fmt.Fprintf(out, "Eq. (18) sufficient condition holds at δ=%v with ε=(p−q_u)/2=%.4f\n", *delta, e)
+	}
+
+	check := func(m int) error {
+		res, err := nm.IsMajorityPreserving(m, *eps, *delta)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "opinion %d: (%v, %v)-majority-preserving: %v\n", m, *eps, *delta, res.MP)
+		if res.WorstRival >= 0 {
+			fmt.Fprintf(out, "  worst kept bias %.6f (needs > ε·δ = %.6f) against rival %d\n",
+				res.WorstBias, *eps**delta, res.WorstRival)
+			fmt.Fprintf(out, "  worst-case δ-biased distribution: %v\n", formatDist(res.WorstDist))
+		}
+		sup, err := nm.MaxEpsilonMP(m, *delta, 1e-9)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "  supremum ε at δ=%v: %.6f\n", *delta, sup)
+		return nil
+	}
+
+	if *opinion >= 0 {
+		return check(*opinion)
+	}
+	for m := 0; m < nm.K(); m++ {
+		if err := check(m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func parseBuiltin(spec string) (*noisyrumor.NoiseMatrix, error) {
+	parts := strings.Split(spec, ":")
+	bad := func() (*noisyrumor.NoiseMatrix, error) {
+		return nil, fmt.Errorf("bad builtin spec %q", spec)
+	}
+	switch parts[0] {
+	case "uniform", "cycle", "reset":
+		if len(parts) != 3 {
+			return bad()
+		}
+		k, err1 := strconv.Atoi(parts[1])
+		v, err2 := strconv.ParseFloat(parts[2], 64)
+		if err1 != nil || err2 != nil {
+			return bad()
+		}
+		switch parts[0] {
+		case "uniform":
+			return noisyrumor.UniformNoise(k, v)
+		case "cycle":
+			return noisyrumor.DominantCycleNoise(k, v)
+		default:
+			return noisyrumor.ResetNoise(k, v)
+		}
+	case "binary":
+		if len(parts) != 2 {
+			return bad()
+		}
+		v, err := strconv.ParseFloat(parts[1], 64)
+		if err != nil {
+			return bad()
+		}
+		return noisyrumor.BinaryNoise(v)
+	default:
+		return bad()
+	}
+}
+
+func readMatrix(r io.Reader) (*noisyrumor.NoiseMatrix, error) {
+	var rows [][]float64
+	sc := bufio.NewScanner(r)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		var row []float64
+		for _, f := range strings.Fields(line) {
+			v, err := strconv.ParseFloat(f, 64)
+			if err != nil {
+				return nil, fmt.Errorf("bad entry %q: %w", f, err)
+			}
+			row = append(row, v)
+		}
+		rows = append(rows, row)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return noisyrumor.NewNoiseMatrix(rows)
+}
+
+func formatDist(c []float64) string {
+	parts := make([]string, len(c))
+	for i, v := range c {
+		parts[i] = fmt.Sprintf("%.4f", v)
+	}
+	return "(" + strings.Join(parts, ", ") + ")"
+}

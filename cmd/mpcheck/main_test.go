@@ -1,0 +1,83 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestReadMatrix(t *testing.T) {
+	in := strings.NewReader("# comment\n0.7 0.3\n\n0.2 0.8\n")
+	m, err := readMatrix(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.K() != 2 || m.At(0, 1) != 0.3 {
+		t.Fatalf("matrix wrong: %v", m)
+	}
+	if _, err := readMatrix(strings.NewReader("0.5 x\n")); err == nil {
+		t.Fatal("bad entry accepted")
+	}
+	if _, err := readMatrix(strings.NewReader("0.5 0.4\n0.2 0.8\n")); err == nil {
+		t.Fatal("non-stochastic matrix accepted")
+	}
+}
+
+func TestParseBuiltin(t *testing.T) {
+	good := []string{"uniform:3:0.2", "cycle:4:0.1", "binary:0.25", "reset:3:0.5"}
+	for _, spec := range good {
+		if _, err := parseBuiltin(spec); err != nil {
+			t.Fatalf("parseBuiltin(%s): %v", spec, err)
+		}
+	}
+	bad := []string{"", "uniform", "uniform:x:0.2", "uniform:3:y", "binary", "mystery:3:0.2"}
+	for _, spec := range bad {
+		if _, err := parseBuiltin(spec); err == nil {
+			t.Fatalf("parseBuiltin(%s) accepted", spec)
+		}
+	}
+}
+
+func TestRunRecoversPaperWitness(t *testing.T) {
+	// The Section-4 counterexample: run should report NOT m.p. and the
+	// witness (0.55, 0.45, 0).
+	var b strings.Builder
+	err := run([]string{"-builtin", "cycle:3:0.1", "-eps", "0.1", "-delta", "0.1", "-opinion", "0"},
+		strings.NewReader(""), &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "majority-preserving: false") {
+		t.Fatalf("cycle not flagged:\n%s", out)
+	}
+	if !strings.Contains(out, "0.5500, 0.4500, 0.0000") {
+		t.Fatalf("paper witness missing:\n%s", out)
+	}
+}
+
+func TestRunUniformAllOpinions(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"-builtin", "uniform:3:0.2", "-eps", "0.1", "-delta", "0.2"},
+		strings.NewReader(""), &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(b.String(), "majority-preserving: true") != 3 {
+		t.Fatalf("expected 3 positive verdicts:\n%s", b.String())
+	}
+}
+
+func TestRunStdinMatrix(t *testing.T) {
+	err := run([]string{"-eps", "0.05", "-delta", "0.1", "-opinion", "1"},
+		strings.NewReader("0.8 0.2\n0.3 0.7\n"), io.Discard)
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestFormatDist(t *testing.T) {
+	if got := formatDist([]float64{0.5, 0.5}); got != "(0.5000, 0.5000)" {
+		t.Fatalf("formatDist = %q", got)
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"io"
+	"strings"
+	"testing"
+)
+
+func TestParseCounts(t *testing.T) {
+	got, err := parseCounts("10, 20,30")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 10 || got[1] != 20 || got[2] != 30 {
+		t.Fatalf("parseCounts = %v", got)
+	}
+	if _, err := parseCounts("10,x"); err == nil {
+		t.Fatal("bad count accepted")
+	}
+}
+
+func TestMakeMatrix(t *testing.T) {
+	cases := []struct {
+		name string
+		k    int
+		eps  float64
+		ok   bool
+	}{
+		{"uniform", 3, 0.2, true},
+		{"binary", 2, 0.2, true},
+		{"identity", 4, 0, true},
+		{"cycle", 3, 0.1, true},
+		{"reset", 3, 0.2, true},
+		{"nope", 3, 0.2, false},
+	}
+	for _, c := range cases {
+		m, err := makeMatrix(c.name, c.k, c.eps)
+		if c.ok && err != nil {
+			t.Fatalf("makeMatrix(%s): %v", c.name, err)
+		}
+		if !c.ok && err == nil {
+			t.Fatalf("makeMatrix(%s) accepted", c.name)
+		}
+		if c.ok && m == nil {
+			t.Fatalf("makeMatrix(%s) returned nil", c.name)
+		}
+	}
+}
+
+func TestRunRumorSmoke(t *testing.T) {
+	// End-to-end through the flag surface, at a tiny scale.
+	var b strings.Builder
+	if err := run([]string{"-n", "300", "-k", "2", "-eps", "0.4", "-seed", "1", "-trace"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"consensus=", "memory:", "phase trace"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunPluralitySmoke(t *testing.T) {
+	if err := run([]string{"-n", "300", "-k", "3", "-eps", "0.4",
+		"-counts", "60,40,20", "-seed", "2"}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	if err := run([]string{"-matrix", "bogus"}, io.Discard); err == nil {
+		t.Fatal("bogus matrix accepted")
+	}
+	if err := run([]string{"-n", "300", "-k", "3", "-eps", "0.4",
+		"-counts", "1,2"}, io.Discard); err == nil {
+		t.Fatal("count/k mismatch accepted")
+	}
+}

@@ -1,0 +1,82 @@
+package noisyrumor_test
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/gossipkit/noisyrumor"
+)
+
+// The headline operation: spread one opinion to every agent through a
+// channel that corrupts a third of all messages.
+func ExampleRumorSpreading() {
+	channel, err := noisyrumor.UniformNoise(3, 0.35)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := noisyrumor.RumorSpreading(noisyrumor.Config{
+		N:      800,
+		Noise:  channel,
+		Params: noisyrumor.DefaultParams(0.35),
+		Seed:   1,
+	}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("consensus:", res.Consensus)
+	fmt.Println("winner:", res.Winner)
+	// Output:
+	// consensus: true
+	// winner: 2
+}
+
+// Plurality consensus from a partially decided population: 45% of the
+// decided agents favor opinion 0.
+func ExamplePluralityConsensus() {
+	channel, err := noisyrumor.UniformNoise(3, 0.35)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := noisyrumor.PluralityConsensus(noisyrumor.Config{
+		N:      800,
+		Noise:  channel,
+		Params: noisyrumor.DefaultParams(0.35),
+		Seed:   2,
+	}, []int{270, 180, 150}) // 200 agents stay undecided
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("correct plurality wins:", res.Correct)
+	// Output:
+	// correct plurality wins: true
+}
+
+// Deciding the (ε,δ)-majority-preservation property exactly: the
+// paper's diagonally-dominant counterexample flips small majorities
+// even though every diagonal entry exceeds 1/2.
+func ExampleNoiseMatrix_IsMajorityPreserving() {
+	cycle, err := noisyrumor.DominantCycleNoise(3, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict, err := cycle.IsMajorityPreserving(0, 0.1, 0.1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("majority-preserving:", verdict.MP)
+	fmt.Printf("worst-case kept bias: %.2f\n", verdict.WorstBias)
+	fmt.Printf("witness distribution: %.2f\n", verdict.WorstDist)
+	// Output:
+	// majority-preserving: false
+	// worst-case kept bias: -0.16
+	// witness distribution: [0.55 0.45 0.00]
+}
+
+// Bias is Definition 1's δ: the lead of an opinion over its best
+// rival.
+func ExampleBias() {
+	c := []float64{0.5, 0.3, 0.2}
+	fmt.Printf("%.1f\n", noisyrumor.Bias(c, 0))
+	// Output:
+	// 0.2
+}

@@ -1,0 +1,97 @@
+// Baselines: why the two-stage protocol exists.
+//
+// The classic opinion dynamics from the literature — voter, 3-majority,
+// undecided-state — solve plurality consensus quickly on a clean
+// channel. Give them the same noisy channel the paper assumes and they
+// stall: every round the noise re-injects minority opinions, and a
+// rule that reacts to one (or three) observations can never average it
+// away. The paper's protocol spends Θ(1/ε²)-round phases collecting
+// samples before deciding, which is exactly what defeats the noise.
+//
+// This example runs all four side by side with an equal round budget.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"github.com/gossipkit/noisyrumor"
+)
+
+func main() {
+	const (
+		n   = 4000
+		k   = 3
+		eps = 0.15
+	)
+
+	channel, err := noisyrumor.UniformNoise(k, eps)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Everyone is decided up front: 40% / 30% / 30%.
+	counts := []int{4 * n / 10, 3 * n / 10, 0}
+	counts[2] = n - counts[0] - counts[1]
+
+	cfg := noisyrumor.Config{
+		N:      n,
+		Noise:  channel,
+		Params: noisyrumor.DefaultParams(eps),
+		Seed:   7,
+	}
+
+	// Equal budgets: every baseline gets as many rounds as the
+	// protocol's schedule uses.
+	sched, err := noisyrumor.NewSchedule(n, cfg.Params)
+	if err != nil {
+		log.Fatal(err)
+	}
+	budget := sched.TotalRounds()
+
+	fmt.Printf("n=%d, k=%d, uniform noise ε=%.2f (a message survives with p=%.2f)\n",
+		n, k, eps, 1.0/k+eps)
+	fmt.Printf("initial split %v, round budget %d\n\n", counts, budget)
+	fmt.Printf("%-24s %-10s %-18s %s\n", "protocol", "consensus", "correct fraction", "verdict")
+
+	// The paper's protocol.
+	res, err := noisyrumor.PluralityConsensus(cfg, counts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict := "correct consensus"
+	if !res.Correct {
+		verdict = "failed (rare w.h.p. event)"
+	}
+	frac := 0.0
+	if res.Correct {
+		frac = 1.0
+	}
+	fmt.Printf("%-24s %-10v %-18.3f %s\n", "two-stage (this paper)", res.Consensus, frac, verdict)
+
+	// The baselines.
+	for _, b := range []struct {
+		name string
+		rule noisyrumor.BaselineRule
+		h    int
+	}{
+		{"voter", noisyrumor.BaselineVoter, 0},
+		{"3-majority", noisyrumor.BaselineHMajority, 3},
+		{"9-majority", noisyrumor.BaselineHMajority, 9},
+		{"undecided-state", noisyrumor.BaselineUndecidedState, 0},
+	} {
+		br, err := noisyrumor.RunBaseline(cfg, b.rule, b.h, counts, budget)
+		if err != nil {
+			log.Fatal(err)
+		}
+		verdict := "stalled in noise"
+		if br.Correct {
+			verdict = "correct consensus"
+		} else if br.Consensus {
+			verdict = "consensus on the WRONG opinion"
+		}
+		fmt.Printf("%-24s %-10v %-18.3f %s\n", b.name, br.Consensus, br.CorrectFraction, verdict)
+	}
+
+	fmt.Println("\nthe one-shot rules hover near the noisy fixed point (correct fraction ≪ 1);")
+	fmt.Println("phase-level sampling is what turns a noisy channel back into a usable one.")
+}

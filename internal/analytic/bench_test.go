@@ -1,0 +1,35 @@
+package analytic
+
+import "testing"
+
+// BenchmarkMajProbsK3L13 measures the exact maj-distribution
+// enumeration at E9's largest (k, ℓ) cell.
+func BenchmarkMajProbsK3L13(b *testing.B) {
+	probs := []float64{0.4, 0.35, 0.25}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MajProbs(probs, 13)
+	}
+}
+
+func BenchmarkMajProbsK4L9(b *testing.B) {
+	probs := []float64{0.4, 0.25, 0.2, 0.15}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = MajProbs(probs, 9)
+	}
+}
+
+func BenchmarkG(b *testing.B) {
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += G(0.1, 49)
+	}
+	_ = sink
+}
+
+func BenchmarkLemma8Identity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		_, _ = Lemma8Identity(21, 10, 0.4)
+	}
+}

@@ -1,0 +1,159 @@
+package core
+
+import (
+	"fmt"
+	"math/bits"
+
+	"github.com/gossipkit/noisyrumor/internal/dist"
+	"github.com/gossipkit/noisyrumor/internal/model"
+)
+
+// Adversary perturbs the system state between rounds: after every
+// communication round it picks FlipsPerRound nodes uniformly at random
+// and re-randomizes each one's opinion over [0, k). This matches the
+// adversarial model discussed for the 3-majority dynamics (Doerr et
+// al.; Becchetti et al.), which tolerates up to O(√n) corruptions per
+// round — experiment E19 measures the two-stage protocol against the
+// same yardstick.
+type Adversary struct {
+	// FlipsPerRound is the number of nodes corrupted after each round.
+	FlipsPerRound int
+	// ActiveFrom is the first round (1-based) the adversary acts in;
+	// 0 means from the start. Experiment E19 sets it to the end of
+	// Stage 1 to isolate the repair capacity of the sample-majority
+	// stage: Stage 1 performs no repair by design (opinionated nodes
+	// never change opinion), so corruption during it accumulates
+	// unopposed.
+	ActiveFrom int
+}
+
+// RunAdversarial executes the protocol with per-round adversarial
+// corruption and no clock jitter.
+func (p *Protocol) RunAdversarial(initial []model.Opinion, correct model.Opinion, adv Adversary) (Result, error) {
+	return p.runPerRound(initial, correct, 0, adv)
+}
+
+// runPerRound is the per-round-granularity execution engine shared by
+// RunJittered and RunAdversarial: phases are tracked per node (with
+// optional boundary jitter) and an optional adversary corrupts nodes
+// between rounds.
+func (p *Protocol) runPerRound(initial []model.Opinion, correct model.Opinion, maxJitter int, adv Adversary) (Result, error) {
+	n := p.engine.N()
+	k := p.engine.K()
+	if len(initial) != n {
+		return Result{}, fmt.Errorf("core: %d initial opinions for %d nodes", len(initial), n)
+	}
+	if correct < 0 || int(correct) >= k {
+		return Result{}, fmt.Errorf("core: correct opinion %d out of range [0,%d)", correct, k)
+	}
+	if maxJitter < 0 {
+		return Result{}, fmt.Errorf("core: negative jitter %d", maxJitter)
+	}
+	if adv.FlipsPerRound < 0 {
+		return Result{}, fmt.Errorf("core: negative adversary budget %d", adv.FlipsPerRound)
+	}
+	if adv.ActiveFrom < 0 {
+		return Result{}, fmt.Errorf("core: negative adversary activation round %d", adv.ActiveFrom)
+	}
+	for i, o := range initial {
+		if o != model.Undecided && (o < 0 || int(o) >= k) {
+			return Result{}, fmt.Errorf("core: node %d has invalid opinion %d", i, o)
+		}
+	}
+	copy(p.ops, initial)
+	p.maxCounter = 0
+
+	// Flatten the schedule into per-phase specs with global end
+	// rounds.
+	type phaseSpec struct {
+		end    int // global end round of the phase (unjittered)
+		stage  int
+		sample int // Stage-2 sample size; 0 for Stage 1
+	}
+	var phases []phaseSpec
+	t := 0
+	for _, rounds := range p.sched.Stage1 {
+		t += rounds
+		phases = append(phases, phaseSpec{end: t, stage: 1})
+	}
+	for _, ph := range p.sched.Stage2 {
+		t += ph.Rounds
+		phases = append(phases, phaseSpec{end: t, stage: 2, sample: ph.SampleSize})
+	}
+	totalRounds := t + maxJitter
+
+	r := p.engine.Rand()
+	offsets := make([]int, n)
+	for u := range offsets {
+		if maxJitter > 0 {
+			offsets[u] = r.Intn(maxJitter + 1)
+		}
+	}
+	// Per-node accumulators since the node's last own boundary.
+	acc := make([]int32, n*k)
+	accTotal := make([]int32, n)
+	phaseIdx := make([]int, n) // next phase boundary each node waits for
+
+	res := Result{FirstAllCorrect: -1}
+	for round := 1; round <= totalRounds; round++ {
+		phRes, err := p.engine.RunPhase(p.ops, 1)
+		if err != nil {
+			return Result{}, err
+		}
+		for i, c := range phRes.Counts {
+			acc[i] += c
+		}
+		for u, tot := range phRes.Total {
+			accTotal[u] += tot
+		}
+		for u := 0; u < n; u++ {
+			idx := phaseIdx[u]
+			if idx >= len(phases) || phases[idx].end+offsets[u] != round {
+				continue
+			}
+			spec := phases[idx]
+			total := int(accTotal[u])
+			if total > p.maxCounter {
+				p.maxCounter = total
+			}
+			counts := acc[u*k : (u+1)*k]
+			switch spec.stage {
+			case 1:
+				if p.ops[u] == model.Undecided && total > 0 {
+					p.ops[u] = pickProportional(r, counts, total)
+				}
+			case 2:
+				if total >= spec.sample {
+					sample := dist.SampleMultisetWithoutReplacement(r, counts, spec.sample, p.sampleBuf)
+					p.ops[u] = majority(r, sample)
+				}
+			}
+			for j := range counts {
+				counts[j] = 0
+			}
+			accTotal[u] = 0
+			phaseIdx[u] = idx + 1
+		}
+		if round >= adv.ActiveFrom {
+			for f := 0; f < adv.FlipsPerRound; f++ {
+				u := r.Intn(n)
+				p.ops[u] = model.Opinion(r.Intn(k))
+			}
+		}
+		if res.FirstAllCorrect < 0 && model.Consensus(p.ops, correct) {
+			res.FirstAllCorrect = round
+		}
+	}
+
+	res.Rounds = totalRounds
+	res.MaxCounter = p.maxCounter
+	res.MemoryBits = k * bits.Len(uint(p.maxCounter))
+	if w, strict := unanimous(p.ops); strict {
+		res.Winner = w
+		res.Consensus = true
+		res.Correct = w == correct
+	} else {
+		res.Winner = model.Undecided
+	}
+	return res, nil
+}

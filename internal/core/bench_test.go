@@ -1,0 +1,47 @@
+package core
+
+import (
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/model"
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// BenchmarkProtocolRumor2000 measures one full two-stage protocol
+// execution (rumor spreading, n=2000, k=3, ε=0.3).
+func BenchmarkProtocolRumor2000(b *testing.B) {
+	nm, err := noise.Uniform(3, 0.3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	init, err := model.InitRumor(2000, 3, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		eng, err := model.NewEngine(2000, nm, model.ProcessO, rng.New(uint64(i+1)))
+		if err != nil {
+			b.Fatal(err)
+		}
+		p, err := New(eng, DefaultParams(0.3))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := p.Run(init, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkScheduleConstruction measures schedule derivation alone.
+func BenchmarkScheduleConstruction(b *testing.B) {
+	p := DefaultParams(0.2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewSchedule(1000000, p); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

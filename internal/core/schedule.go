@@ -1,0 +1,116 @@
+package core
+
+import (
+	"fmt"
+	"math"
+)
+
+// Stage2Phase is one phase of Stage 2: 2·SampleSize rounds of pushing
+// followed by the sample-majority update.
+type Stage2Phase struct {
+	// Rounds is the phase length (2L in the paper's notation).
+	Rounds int
+	// SampleSize is L: the number of received messages a node samples
+	// (and the minimum it must receive to update).
+	SampleSize int
+}
+
+// Schedule is the complete deterministic round schedule of the
+// protocol for a given n and parameter set.
+type Schedule struct {
+	// Stage1 holds the length in rounds of each Stage-1 phase
+	// (T+2 entries: phase 0, phases 1..T, phase T+1).
+	Stage1 []int
+	// Stage2 holds the T′+1 Stage-2 phases.
+	Stage2 []Stage2Phase
+}
+
+// NewSchedule computes the paper's phase structure (Section 3.1) for
+// n nodes:
+//
+//	Stage 1: phase 0 of ⌈s·ln(n)/ε²⌉ rounds, T phases of ⌈β/ε²⌉
+//	rounds with T = ⌊log(n/(2(s/ε²)ln n)) / log(β/ε²+1)⌋ (clamped to
+//	≥ 0), and a final phase of ⌈φ·ln(n)/ε²⌉ rounds.
+//
+//	Stage 2: T′ = ⌈log₂(√n/ln n)⌉ (clamped to ≥ 1) phases of 2ℓ
+//	rounds with ℓ = ⌈c/ε²⌉ odd, then one phase of 2ℓ′ rounds with
+//	ℓ′ = ⌈c′·ln(n)/ε²⌉ odd.
+func NewSchedule(n int, p Params) (Schedule, error) {
+	if err := p.Validate(); err != nil {
+		return Schedule{}, err
+	}
+	if n < 2 {
+		return Schedule{}, fmt.Errorf("core: schedule needs n ≥ 2, got %d", n)
+	}
+	eps2 := p.Epsilon * p.Epsilon
+	ln := math.Log(float64(n))
+
+	phase0 := int(math.Ceil(p.S * ln / eps2))
+	if phase0 < 1 {
+		phase0 = 1
+	}
+	mid := int(math.Ceil(p.Beta / eps2))
+	if mid < 1 {
+		mid = 1
+	}
+	// T = ⌊ log( n / (2(s/ε²)·ln n) ) / log(β/ε²+1) ⌋, clamped ≥ 0.
+	growth := math.Log(p.Beta/eps2 + 1)
+	numer := math.Log(float64(n) / (2 * (p.S / eps2) * ln))
+	T := 0
+	if numer > 0 && growth > 0 {
+		T = int(math.Floor(numer / growth))
+	}
+	last := int(math.Ceil(p.Phi * ln / eps2))
+	if last < 1 {
+		last = 1
+	}
+
+	s1 := make([]int, 0, T+2)
+	s1 = append(s1, phase0)
+	for j := 0; j < T; j++ {
+		s1 = append(s1, mid)
+	}
+	s1 = append(s1, last)
+
+	ell := oddCeil(p.C / eps2)
+	ellPrime := oddCeil(p.CPrime * ln / eps2)
+	tPrime := int(math.Ceil(math.Log2(math.Sqrt(float64(n)) / ln)))
+	if tPrime < 1 {
+		tPrime = 1
+	}
+	tPrime += p.Stage2ExtraPhases
+	s2 := make([]Stage2Phase, 0, tPrime+1)
+	for j := 0; j < tPrime; j++ {
+		s2 = append(s2, Stage2Phase{Rounds: 2 * ell, SampleSize: ell})
+	}
+	s2 = append(s2, Stage2Phase{Rounds: 2 * ellPrime, SampleSize: ellPrime})
+
+	return Schedule{Stage1: s1, Stage2: s2}, nil
+}
+
+// TotalRounds returns the number of rounds in the full schedule.
+func (s Schedule) TotalRounds() int {
+	total := 0
+	for _, r := range s.Stage1 {
+		total += r
+	}
+	for _, ph := range s.Stage2 {
+		total += ph.Rounds
+	}
+	return total
+}
+
+// Stage1Rounds returns the number of Stage-1 rounds.
+func (s Schedule) Stage1Rounds() int {
+	total := 0
+	for _, r := range s.Stage1 {
+		total += r
+	}
+	return total
+}
+
+// String summarizes the schedule.
+func (s Schedule) String() string {
+	return fmt.Sprintf("stage1: %d phases / %d rounds; stage2: %d phases / %d rounds",
+		len(s.Stage1), s.Stage1Rounds(), len(s.Stage2), s.TotalRounds()-s.Stage1Rounds())
+}

@@ -1,0 +1,234 @@
+// Package dynamics implements the related-work baseline protocols the
+// paper positions itself against (Section 1.3), run under the same
+// noisy channel as the main protocol:
+//
+//   - the voter model (copy one noisy observation);
+//   - h-majority dynamics (adopt the majority of h noisy
+//     observations; h = 3 is the 3-majority dynamics of Becchetti et
+//     al.);
+//   - the undecided-state dynamics of Angluin, Aspnes and Eisenstat.
+//
+// All run as synchronous gossip: each round, every node draws
+// independent uniform observations of the current opinion vector, each
+// observation independently perturbed by the noise matrix. None of
+// these dynamics performs the paper's phase-level noise averaging, so
+// under channel noise they stall in a noisy quasi-stationary state
+// instead of reaching full correct consensus — exactly the gap
+// experiment E10 quantifies.
+package dynamics
+
+import (
+	"fmt"
+
+	"github.com/gossipkit/noisyrumor/internal/dist"
+	"github.com/gossipkit/noisyrumor/internal/model"
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// Rule selects a baseline dynamics.
+type Rule int
+
+// Baseline rules.
+const (
+	Voter Rule = iota
+	HMajority
+	UndecidedState
+)
+
+// String names the rule.
+func (r Rule) String() string {
+	switch r {
+	case Voter:
+		return "voter"
+	case HMajority:
+		return "h-majority"
+	case UndecidedState:
+		return "undecided-state"
+	default:
+		return fmt.Sprintf("Rule(%d)", int(r))
+	}
+}
+
+// Config parameterizes a baseline run.
+type Config struct {
+	// Rule selects the dynamics.
+	Rule Rule
+	// H is the sample size for HMajority (ignored otherwise; 3 gives
+	// the classic 3-majority dynamics). Must be ≥ 1 and odd is
+	// customary but not required.
+	H int
+	// Noise is the channel applied independently to every observation.
+	Noise *noise.Matrix
+	// MaxRounds caps the run.
+	MaxRounds int
+}
+
+// Result reports a baseline run.
+type Result struct {
+	// Rounds executed (= MaxRounds unless consensus stopped it early).
+	Rounds int
+	// Consensus reports whether all nodes shared one opinion when the
+	// run stopped.
+	Consensus bool
+	// Winner is that opinion, or model.Undecided.
+	Winner model.Opinion
+	// Correct reports Consensus on the designated correct opinion.
+	Correct bool
+	// CorrectFraction is the fraction of nodes holding the correct
+	// opinion at the end — the meaningful metric when noise prevents
+	// exact consensus.
+	CorrectFraction float64
+	// PluralityPreserved reports whether the correct opinion was the
+	// strict plurality at the end.
+	PluralityPreserved bool
+}
+
+// Run executes the configured dynamics from the initial opinions until
+// consensus or MaxRounds. The initial slice is not mutated.
+func Run(cfg Config, initial []model.Opinion, correct model.Opinion, r *rng.Rand) (Result, error) {
+	n := len(initial)
+	if n < 2 {
+		return Result{}, fmt.Errorf("dynamics: need n ≥ 2, got %d", n)
+	}
+	if cfg.Noise == nil {
+		return Result{}, fmt.Errorf("dynamics: nil noise matrix")
+	}
+	if cfg.MaxRounds < 1 {
+		return Result{}, fmt.Errorf("dynamics: MaxRounds = %d", cfg.MaxRounds)
+	}
+	if r == nil {
+		return Result{}, fmt.Errorf("dynamics: nil rng")
+	}
+	k := cfg.Noise.K()
+	if correct < 0 || int(correct) >= k {
+		return Result{}, fmt.Errorf("dynamics: correct opinion %d out of range [0,%d)", correct, k)
+	}
+	h := cfg.H
+	switch cfg.Rule {
+	case HMajority:
+		if h < 1 {
+			return Result{}, fmt.Errorf("dynamics: h-majority with h=%d", h)
+		}
+	case Voter, UndecidedState:
+		h = 1
+	default:
+		return Result{}, fmt.Errorf("dynamics: unknown rule %d", int(cfg.Rule))
+	}
+	for i, o := range initial {
+		if o != model.Undecided && (o < 0 || int(o) >= k) {
+			return Result{}, fmt.Errorf("dynamics: node %d has invalid opinion %d", i, o)
+		}
+	}
+
+	var tables []*dist.AliasTable
+	noisy := !cfg.Noise.IsIdentity()
+	if noisy {
+		tables = cfg.Noise.RowTables()
+	}
+	cur := append([]model.Opinion(nil), initial...)
+	next := make([]model.Opinion, n)
+	counts := make([]int, k)
+
+	observe := func() (model.Opinion, bool) {
+		o := cur[r.Intn(n)]
+		if o == model.Undecided {
+			return model.Undecided, false
+		}
+		if noisy {
+			o = model.Opinion(tables[o].Sample(r))
+		}
+		return o, true
+	}
+
+	rounds := 0
+	for ; rounds < cfg.MaxRounds; rounds++ {
+		if w, ok := allSame(cur); ok {
+			return finish(cur, correct, rounds, w, k), nil
+		}
+		for u := 0; u < n; u++ {
+			switch cfg.Rule {
+			case Voter:
+				if o, ok := observe(); ok {
+					next[u] = o
+				} else {
+					next[u] = cur[u]
+				}
+			case HMajority:
+				for i := range counts {
+					counts[i] = 0
+				}
+				seen := 0
+				for s := 0; s < h; s++ {
+					if o, ok := observe(); ok {
+						counts[o]++
+						seen++
+					}
+				}
+				if seen == 0 {
+					next[u] = cur[u]
+				} else {
+					next[u] = argmaxRandomTie(r, counts)
+				}
+			case UndecidedState:
+				o, ok := observe()
+				switch {
+				case !ok:
+					next[u] = cur[u]
+				case cur[u] == model.Undecided:
+					next[u] = o
+				case cur[u] == o:
+					next[u] = cur[u]
+				default:
+					next[u] = model.Undecided
+				}
+			}
+		}
+		cur, next = next, cur
+	}
+	w, _ := allSame(cur)
+	return finish(cur, correct, rounds, w, k), nil
+}
+
+func finish(ops []model.Opinion, correct model.Opinion, rounds int, winner model.Opinion, k int) Result {
+	counts, _ := model.CountOpinions(ops, k)
+	frac := float64(counts[correct]) / float64(len(ops))
+	plu, strict := model.Plurality(ops, k)
+	return Result{
+		Rounds:             rounds,
+		Consensus:          winner != model.Undecided,
+		Winner:             winner,
+		Correct:            winner == correct,
+		CorrectFraction:    frac,
+		PluralityPreserved: strict && plu == correct,
+	}
+}
+
+func allSame(ops []model.Opinion) (model.Opinion, bool) {
+	first := ops[0]
+	if first == model.Undecided {
+		return model.Undecided, false
+	}
+	for _, o := range ops[1:] {
+		if o != first {
+			return model.Undecided, false
+		}
+	}
+	return first, true
+}
+
+func argmaxRandomTie(r *rng.Rand, counts []int) model.Opinion {
+	best, ties, winner := -1, 0, 0
+	for i, c := range counts {
+		switch {
+		case c > best:
+			best, ties, winner = c, 1, i
+		case c == best:
+			ties++
+			if r.Intn(ties) == 0 {
+				winner = i
+			}
+		}
+	}
+	return model.Opinion(winner)
+}

@@ -1,0 +1,203 @@
+package dynamics
+
+import (
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/model"
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+func biasedInit(t *testing.T, n, k int, majorityShare float64) []model.Opinion {
+	t.Helper()
+	counts := make([]int, k)
+	counts[0] = int(float64(n) * majorityShare)
+	rest := n - counts[0]
+	for i := 1; i < k; i++ {
+		counts[i] = rest / (k - 1)
+	}
+	counts[k-1] += rest - (rest/(k-1))*(k-1)
+	init, err := model.InitPlurality(n, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return init
+}
+
+func TestValidation(t *testing.T) {
+	nm, _ := noise.Identity(2)
+	r := rng.New(1)
+	init := biasedInit(t, 100, 2, 0.6)
+	cases := []struct {
+		name string
+		cfg  Config
+		init []model.Opinion
+		m    model.Opinion
+		r    *rng.Rand
+	}{
+		{"nil noise", Config{Rule: Voter, MaxRounds: 10}, init, 0, r},
+		{"no rounds", Config{Rule: Voter, Noise: nm}, init, 0, r},
+		{"nil rng", Config{Rule: Voter, Noise: nm, MaxRounds: 10}, init, 0, nil},
+		{"tiny n", Config{Rule: Voter, Noise: nm, MaxRounds: 10}, init[:1], 0, r},
+		{"bad h", Config{Rule: HMajority, H: 0, Noise: nm, MaxRounds: 10}, init, 0, r},
+		{"bad rule", Config{Rule: Rule(9), Noise: nm, MaxRounds: 10}, init, 0, r},
+		{"bad correct", Config{Rule: Voter, Noise: nm, MaxRounds: 10}, init, 5, r},
+	}
+	for _, c := range cases {
+		if _, err := Run(c.cfg, c.init, c.m, c.r); err == nil {
+			t.Fatalf("%s accepted", c.name)
+		}
+	}
+	bad := append([]model.Opinion(nil), init...)
+	bad[3] = 9
+	if _, err := Run(Config{Rule: Voter, Noise: nm, MaxRounds: 10}, bad, 0, r); err == nil {
+		t.Fatal("invalid node opinion accepted")
+	}
+}
+
+func TestThreeMajorityNoiselessConverges(t *testing.T) {
+	nm, _ := noise.Identity(3)
+	init := biasedInit(t, 600, 3, 0.5)
+	res, err := Run(Config{Rule: HMajority, H: 3, Noise: nm, MaxRounds: 200},
+		init, 0, rng.New(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus || !res.Correct {
+		t.Fatalf("3-majority failed noiselessly: %+v", res)
+	}
+	if res.Rounds >= 200 {
+		t.Fatalf("3-majority did not stop early: %d rounds", res.Rounds)
+	}
+}
+
+func TestVoterNoiselessEventuallyConsensus(t *testing.T) {
+	// Voter on a small population: consensus on some opinion; winner
+	// need not be the plurality (it is a martingale), so only check
+	// consensus.
+	nm, _ := noise.Identity(2)
+	init := biasedInit(t, 60, 2, 0.7)
+	res, err := Run(Config{Rule: Voter, Noise: nm, MaxRounds: 20000},
+		init, 0, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus {
+		t.Fatalf("voter never converged: %+v", res)
+	}
+}
+
+func TestUndecidedStateNoiselessConverges(t *testing.T) {
+	nm, _ := noise.Identity(2)
+	init := biasedInit(t, 500, 2, 0.6)
+	res, err := Run(Config{Rule: UndecidedState, Noise: nm, MaxRounds: 2000},
+		init, 0, rng.New(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus || !res.Correct {
+		t.Fatalf("undecided-state failed: %+v", res)
+	}
+}
+
+func TestUndecidedStateFromUndecidedNodes(t *testing.T) {
+	// Start with some undecided nodes: they must get recruited.
+	nm, _ := noise.Identity(2)
+	init, err := model.InitPlurality(400, []int{120, 80})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(Config{Rule: UndecidedState, Noise: nm, MaxRounds: 5000},
+		init, 0, rng.New(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus {
+		t.Fatalf("USD with undecided start never converged: %+v", res)
+	}
+}
+
+func TestThreeMajorityUnderHeavyNoiseStalls(t *testing.T) {
+	// Under strong uniform noise each observation is nearly uniform on
+	// k opinions, so 3-majority cannot reach full correct consensus —
+	// the motivation for the paper's protocol (E10).
+	nm, err := noise.Uniform(3, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := biasedInit(t, 900, 3, 0.5)
+	res, err := Run(Config{Rule: HMajority, H: 3, Noise: nm, MaxRounds: 300},
+		init, 0, rng.New(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consensus {
+		t.Fatalf("3-majority reached consensus under heavy noise: %+v", res)
+	}
+	if res.CorrectFraction > 0.9 {
+		t.Fatalf("correct fraction suspiciously high under heavy noise: %v",
+			res.CorrectFraction)
+	}
+}
+
+func TestHMajorityLargerHTracksPluralityBetter(t *testing.T) {
+	// With moderate noise, larger h averages more observations and
+	// should end with at least as large a correct fraction.
+	nm, err := noise.Uniform(2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	init := biasedInit(t, 2000, 2, 0.65)
+	small, err := Run(Config{Rule: HMajority, H: 1, Noise: nm, MaxRounds: 60},
+		init, 0, rng.New(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := Run(Config{Rule: HMajority, H: 9, Noise: nm, MaxRounds: 60},
+		init, 0, rng.New(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if big.CorrectFraction < small.CorrectFraction-0.05 {
+		t.Fatalf("h=9 fraction %v worse than h=1 fraction %v",
+			big.CorrectFraction, small.CorrectFraction)
+	}
+}
+
+func TestResultFields(t *testing.T) {
+	nm, _ := noise.Identity(2)
+	init := biasedInit(t, 200, 2, 0.8)
+	res, err := Run(Config{Rule: HMajority, H: 3, Noise: nm, MaxRounds: 100},
+		init, 0, rng.New(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Winner != 0 || !res.PluralityPreserved || res.CorrectFraction != 1 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}
+
+func TestInitialNotMutated(t *testing.T) {
+	nm, _ := noise.Identity(2)
+	init := biasedInit(t, 100, 2, 0.6)
+	want := append([]model.Opinion(nil), init...)
+	if _, err := Run(Config{Rule: Voter, Noise: nm, MaxRounds: 50},
+		init, 0, rng.New(10)); err != nil {
+		t.Fatal(err)
+	}
+	for i := range init {
+		if init[i] != want[i] {
+			t.Fatal("initial opinions mutated")
+		}
+	}
+}
+
+func TestRuleString(t *testing.T) {
+	if Voter.String() != "voter" || HMajority.String() != "h-majority" ||
+		UndecidedState.String() != "undecided-state" {
+		t.Fatal("rule names wrong")
+	}
+	if Rule(42).String() == "" {
+		t.Fatal("unknown rule name empty")
+	}
+}

@@ -1,0 +1,371 @@
+// Package lp implements a small dense two-phase simplex solver for
+// linear programs in inequality form. It exists for exactly one
+// consumer in this repository: Section 4 of the paper observes that
+// deciding whether a noise matrix P is (ε,δ)-majority-preserving with
+// respect to opinion m reduces, for each rival opinion i ≠ m, to the
+// linear program
+//
+//	maximize  (c·P)_i − (c·P)_m
+//	subject to Σ_j c_j = 1,  c_j ≥ 0,  c_m − c_j ≥ δ (j ≠ m),
+//
+// whose optimum must stay below −εδ. The feasible regions are small
+// (k ≤ a few dozen variables), so a textbook dense tableau with
+// Bland's anti-cycling rule is exactly the right tool; numerical
+// sophistication beyond a fixed tolerance would be over-engineering.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a linear constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // Σ a_j x_j ≤ b
+	GE              // Σ a_j x_j ≥ b
+	EQ              // Σ a_j x_j = b
+)
+
+// String returns the conventional symbol for the sense.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// Constraint is one row Σ_j Coeffs_j · x_j  (Sense)  RHS.
+type Constraint struct {
+	Coeffs []float64
+	Sense  Sense
+	RHS    float64
+}
+
+// Problem is a linear program over non-negative variables:
+// maximize Objective · x subject to the Constraints and x ≥ 0.
+type Problem struct {
+	Objective   []float64
+	Constraints []Constraint
+}
+
+// Status classifies the outcome of Solve.
+type Status int
+
+// Solver outcomes.
+const (
+	Optimal Status = iota
+	Infeasible
+	Unbounded
+)
+
+// String names the status.
+func (s Status) String() string {
+	switch s {
+	case Optimal:
+		return "optimal"
+	case Infeasible:
+		return "infeasible"
+	case Unbounded:
+		return "unbounded"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of Solve. X and Value are meaningful only
+// when Status == Optimal.
+type Solution struct {
+	Status Status
+	X      []float64
+	Value  float64
+}
+
+// ErrBadProblem reports a structurally invalid problem (mismatched
+// dimensions or no variables).
+var ErrBadProblem = errors.New("lp: malformed problem")
+
+const (
+	eps     = 1e-9
+	maxIter = 10000
+)
+
+// Solve maximizes the problem with the two-phase simplex method.
+// It returns an error only for malformed input; infeasibility and
+// unboundedness are reported in Solution.Status.
+func Solve(p Problem) (Solution, error) {
+	n := len(p.Objective)
+	if n == 0 {
+		return Solution{}, fmt.Errorf("%w: empty objective", ErrBadProblem)
+	}
+	for i, c := range p.Constraints {
+		if len(c.Coeffs) != n {
+			return Solution{}, fmt.Errorf("%w: constraint %d has %d coefficients, want %d",
+				ErrBadProblem, i, len(c.Coeffs), n)
+		}
+	}
+	t := newTableau(p)
+	// Phase 1: drive artificial variables to zero.
+	if t.numArtificial > 0 {
+		t.installPhase1Objective()
+		if err := t.iterate(); err != nil {
+			return Solution{}, err
+		}
+		if t.objectiveValue() < -eps {
+			return Solution{Status: Infeasible}, nil
+		}
+		t.pivotOutArtificials()
+	}
+	// Phase 2: the real objective.
+	t.installPhase2Objective(p.Objective)
+	if err := t.iterate(); err != nil {
+		if errors.Is(err, errUnbounded) {
+			return Solution{Status: Unbounded}, nil
+		}
+		return Solution{}, err
+	}
+	x := make([]float64, n)
+	for row, col := range t.basis {
+		if col < n {
+			x[col] = t.a[row][t.cols]
+		}
+	}
+	return Solution{Status: Optimal, X: x, Value: t.objectiveValue()}, nil
+}
+
+var errUnbounded = errors.New("lp: unbounded")
+
+// tableau is a dense simplex tableau. Columns are laid out as
+// [structural | slack/surplus | artificial | rhs]; the objective row is
+// stored separately in obj (with objRHS as its constant term).
+type tableau struct {
+	a             [][]float64 // m rows × (cols+1); last column is RHS
+	obj           []float64   // cols entries: reduced-cost row
+	objRHS        float64
+	basis         []int // basis[row] = column currently basic in that row
+	cols          int   // number of variable columns (excl. RHS)
+	numStructural int
+	numArtificial int
+	artStart      int // first artificial column
+}
+
+func newTableau(p Problem) *tableau {
+	n := len(p.Objective)
+	m := len(p.Constraints)
+	// Count auxiliary columns.
+	numSlack := 0
+	numArt := 0
+	for _, c := range p.Constraints {
+		// Normalize rows to non-negative RHS first; the sense flips.
+		sense := c.Sense
+		if c.RHS < 0 {
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		switch sense {
+		case LE:
+			numSlack++
+		case GE:
+			numSlack++ // surplus
+			numArt++
+		case EQ:
+			numArt++
+		}
+	}
+	cols := n + numSlack + numArt
+	t := &tableau{
+		a:             make([][]float64, m),
+		obj:           make([]float64, cols),
+		basis:         make([]int, m),
+		cols:          cols,
+		numStructural: n,
+		numArtificial: numArt,
+		artStart:      n + numSlack,
+	}
+	slackCol := n
+	artCol := t.artStart
+	for i, c := range p.Constraints {
+		row := make([]float64, cols+1)
+		sign := 1.0
+		sense := c.Sense
+		if c.RHS < 0 {
+			sign = -1
+			switch sense {
+			case LE:
+				sense = GE
+			case GE:
+				sense = LE
+			}
+		}
+		for j, v := range c.Coeffs {
+			row[j] = sign * v
+		}
+		row[cols] = sign * c.RHS
+		switch sense {
+		case LE:
+			row[slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			row[slackCol] = -1 // surplus
+			slackCol++
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			row[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+		t.a[i] = row
+	}
+	return t
+}
+
+// installPhase1Objective sets the objective to maximize −Σ artificials,
+// expressed in terms of the current (artificial) basis.
+func (t *tableau) installPhase1Objective() {
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	t.objRHS = 0
+	for j := t.artStart; j < t.artStart+t.numArtificial; j++ {
+		t.obj[j] = -1
+	}
+	// Price out the basic artificial variables (their objective
+	// coefficient is −1).
+	for row, col := range t.basis {
+		if col >= t.artStart {
+			t.priceOut(row, -1)
+		}
+	}
+}
+
+// installPhase2Objective sets the real objective (maximize), priced out
+// against the current basis, and forbids artificial columns.
+func (t *tableau) installPhase2Objective(objective []float64) {
+	for j := range t.obj {
+		t.obj[j] = 0
+	}
+	t.objRHS = 0
+	copy(t.obj, objective)
+	// Artificial columns must never re-enter; poison their reduced
+	// costs. (They are also pivoted out of the basis beforehand.)
+	for j := t.artStart; j < t.artStart+t.numArtificial; j++ {
+		t.obj[j] = math.Inf(-1)
+	}
+	for row, col := range t.basis {
+		if col < t.cols && t.obj[col] != 0 && !math.IsInf(t.obj[col], -1) {
+			t.priceOut(row, t.obj[col])
+		}
+	}
+}
+
+// priceOut substitutes the basic variable of the given row out of the
+// objective: obj ← obj − factor·row, objRHS ← objRHS + factor·rhs,
+// preserving the invariant  z = objRHS + Σ_j obj_j x_j.
+func (t *tableau) priceOut(row int, factor float64) {
+	r := t.a[row]
+	for j := 0; j < t.cols; j++ {
+		if math.IsInf(t.obj[j], -1) {
+			continue
+		}
+		t.obj[j] -= factor * r[j]
+	}
+	t.objRHS += factor * r[t.cols]
+}
+
+func (t *tableau) objectiveValue() float64 { return t.objRHS }
+
+// iterate runs primal simplex pivots (Bland's rule) to optimality.
+func (t *tableau) iterate() error {
+	for iter := 0; iter < maxIter; iter++ {
+		// Entering column: smallest index with positive reduced cost.
+		enter := -1
+		for j := 0; j < t.cols; j++ {
+			if t.obj[j] > eps {
+				enter = j
+				break
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Leaving row: min-ratio, ties by smallest basis column.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i, row := range t.a {
+			if row[enter] > eps {
+				ratio := row[t.cols] / row[enter]
+				if ratio < bestRatio-eps ||
+					(math.Abs(ratio-bestRatio) <= eps &&
+						(leave < 0 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return errUnbounded
+		}
+		t.pivot(leave, enter)
+	}
+	return errors.New("lp: iteration limit exceeded")
+}
+
+// pivot makes column enter basic in row leave.
+func (t *tableau) pivot(leave, enter int) {
+	row := t.a[leave]
+	pv := row[enter]
+	for j := range row {
+		row[j] /= pv
+	}
+	for i, other := range t.a {
+		if i == leave {
+			continue
+		}
+		f := other[enter]
+		if f == 0 {
+			continue
+		}
+		for j := range other {
+			other[j] -= f * row[j]
+		}
+	}
+	f := t.obj[enter]
+	if f != 0 && !math.IsInf(f, -1) {
+		t.priceOut(leave, f)
+	}
+	t.basis[leave] = enter
+}
+
+// pivotOutArtificials removes artificial variables that remain basic at
+// zero level after phase 1 by pivoting in any non-artificial column
+// with a non-zero entry; rows with no such column are redundant and
+// harmless.
+func (t *tableau) pivotOutArtificials() {
+	for i, col := range t.basis {
+		if col < t.artStart {
+			continue
+		}
+		for j := 0; j < t.artStart; j++ {
+			if math.Abs(t.a[i][j]) > eps {
+				t.pivot(i, j)
+				break
+			}
+		}
+	}
+}

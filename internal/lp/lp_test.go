@@ -1,0 +1,297 @@
+package lp
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+func solveOK(t *testing.T, p Problem) Solution {
+	t.Helper()
+	s, err := Solve(p)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	return s
+}
+
+func TestSolveTextbook(t *testing.T) {
+	// max 3x + 5y  s.t. x ≤ 4, 2y ≤ 12, 3x + 2y ≤ 18 → x=2, y=6, z=36.
+	p := Problem{
+		Objective: []float64{3, 5},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 0}, Sense: LE, RHS: 4},
+			{Coeffs: []float64{0, 2}, Sense: LE, RHS: 12},
+			{Coeffs: []float64{3, 2}, Sense: LE, RHS: 18},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal {
+		t.Fatalf("status %v", s.Status)
+	}
+	if math.Abs(s.Value-36) > 1e-8 {
+		t.Fatalf("value %v, want 36", s.Value)
+	}
+	if math.Abs(s.X[0]-2) > 1e-8 || math.Abs(s.X[1]-6) > 1e-8 {
+		t.Fatalf("x = %v, want [2 6]", s.X)
+	}
+}
+
+func TestSolveWithEquality(t *testing.T) {
+	// max x + 2y  s.t. x + y = 1 → y=1, z=2.
+	p := Problem{
+		Objective: []float64{1, 2},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1}, Sense: EQ, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Value-2) > 1e-8 {
+		t.Fatalf("got %+v, want value 2", s)
+	}
+}
+
+func TestSolveWithGE(t *testing.T) {
+	// min x+y s.t. x+2y ≥ 4, 3x+y ≥ 6 — as max of the negation.
+	// Optimum of the min problem: intersection x+2y=4, 3x+y=6 →
+	// x=8/5, y=6/5, value 14/5.
+	p := Problem{
+		Objective: []float64{-1, -1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 2}, Sense: GE, RHS: 4},
+			{Coeffs: []float64{3, 1}, Sense: GE, RHS: 6},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Value+14.0/5) > 1e-8 {
+		t.Fatalf("got %+v, want value -2.8", s)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	p := Problem{
+		Objective: []float64{1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1}, Sense: LE, RHS: 1},
+			{Coeffs: []float64{1}, Sense: GE, RHS: 2},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Infeasible {
+		t.Fatalf("status %v, want infeasible", s.Status)
+	}
+}
+
+func TestSolveUnbounded(t *testing.T) {
+	p := Problem{
+		Objective: []float64{1, 0},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0, 1}, Sense: LE, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Unbounded {
+		t.Fatalf("status %v, want unbounded", s.Status)
+	}
+}
+
+func TestSolveNegativeRHS(t *testing.T) {
+	// max -x s.t. -x ≤ -2  (i.e. x ≥ 2) → x=2, value -2.
+	p := Problem{
+		Objective: []float64{-1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{-1}, Sense: LE, RHS: -2},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Value+2) > 1e-8 {
+		t.Fatalf("got %+v, want value -2", s)
+	}
+}
+
+func TestSolveDegenerate(t *testing.T) {
+	// A degenerate problem that cycles under naive pivoting
+	// (Beale-like); Bland's rule must terminate.
+	p := Problem{
+		Objective: []float64{0.75, -150, 0.02, -6},
+		Constraints: []Constraint{
+			{Coeffs: []float64{0.25, -60, -0.04, 9}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0.5, -90, -0.02, 3}, Sense: LE, RHS: 0},
+			{Coeffs: []float64{0, 0, 1, 0}, Sense: LE, RHS: 1},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Value-0.05) > 1e-8 {
+		t.Fatalf("got %+v, want value 0.05", s)
+	}
+}
+
+func TestSolveEqualityOnlySimplex(t *testing.T) {
+	// The exact shape of the paper's m.p. LP for k=3:
+	// variables on the probability simplex with bias constraints.
+	// max c3 − c1 s.t. Σc = 1, c1 − c2 ≥ 0.1, c1 − c3 ≥ 0.1, c ≥ 0.
+	// Optimum pushes c3 as high as allowed: c1 = c3 + 0.1,
+	// c2 = 1 − c1 − c3 ≥ 0 → c3 = 0.45, c1 = 0.55, value −0.1.
+	p := Problem{
+		Objective: []float64{-1, 0, 1},
+		Constraints: []Constraint{
+			{Coeffs: []float64{1, 1, 1}, Sense: EQ, RHS: 1},
+			{Coeffs: []float64{1, -1, 0}, Sense: GE, RHS: 0.1},
+			{Coeffs: []float64{1, 0, -1}, Sense: GE, RHS: 0.1},
+		},
+	}
+	s := solveOK(t, p)
+	if s.Status != Optimal || math.Abs(s.Value+0.1) > 1e-8 {
+		t.Fatalf("got status=%v value=%v x=%v, want value -0.1", s.Status, s.Value, s.X)
+	}
+}
+
+func TestSolveMalformed(t *testing.T) {
+	if _, err := Solve(Problem{}); err == nil {
+		t.Fatal("empty problem accepted")
+	}
+	p := Problem{
+		Objective:   []float64{1, 2},
+		Constraints: []Constraint{{Coeffs: []float64{1}, Sense: LE, RHS: 1}},
+	}
+	if _, err := Solve(p); err == nil {
+		t.Fatal("dimension mismatch accepted")
+	}
+}
+
+func TestSolveSolutionIsFeasible(t *testing.T) {
+	// Property test: on random bounded problems, the returned point
+	// satisfies every constraint and is non-negative.
+	r := rng.New(42)
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + r.Intn(4)
+		m := 1 + r.Intn(4)
+		p := Problem{Objective: make([]float64, n)}
+		for j := range p.Objective {
+			p.Objective[j] = r.Float64()*4 - 2
+		}
+		for i := 0; i < m; i++ {
+			c := Constraint{Coeffs: make([]float64, n), Sense: LE, RHS: r.Float64() * 10}
+			for j := range c.Coeffs {
+				c.Coeffs[j] = r.Float64() * 3
+			}
+			p.Constraints = append(p.Constraints, c)
+		}
+		// Bound the region so the problem cannot be unbounded.
+		bound := Constraint{Coeffs: make([]float64, n), Sense: LE, RHS: 100}
+		for j := range bound.Coeffs {
+			bound.Coeffs[j] = 1
+		}
+		p.Constraints = append(p.Constraints, bound)
+
+		s := solveOK(t, p)
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		for j, x := range s.X {
+			if x < -1e-7 {
+				t.Fatalf("trial %d: x[%d] = %v negative", trial, j, x)
+			}
+		}
+		for i, c := range p.Constraints {
+			lhs := 0.0
+			for j, v := range c.Coeffs {
+				lhs += v * s.X[j]
+			}
+			if lhs > c.RHS+1e-6 {
+				t.Fatalf("trial %d: constraint %d violated: %v > %v", trial, i, lhs, c.RHS)
+			}
+		}
+	}
+}
+
+func TestSolveMatchesVertexEnumeration2D(t *testing.T) {
+	// For random 2-variable problems, compare against brute-force
+	// enumeration of constraint-pair intersections.
+	r := rng.New(43)
+	for trial := 0; trial < 300; trial++ {
+		p := Problem{Objective: []float64{r.Float64()*4 - 2, r.Float64()*4 - 2}}
+		m := 2 + r.Intn(4)
+		for i := 0; i < m; i++ {
+			p.Constraints = append(p.Constraints, Constraint{
+				Coeffs: []float64{r.Float64()*3 + 0.1, r.Float64()*3 + 0.1},
+				Sense:  LE,
+				RHS:    r.Float64()*8 + 1,
+			})
+		}
+		s := solveOK(t, p)
+		if s.Status != Optimal {
+			t.Fatalf("trial %d: status %v", trial, s.Status)
+		}
+		best := bruteForce2D(p)
+		if math.Abs(s.Value-best) > 1e-6*(1+math.Abs(best)) {
+			t.Fatalf("trial %d: simplex %v vs brute force %v", trial, s.Value, best)
+		}
+	}
+}
+
+// bruteForce2D enumerates all candidate vertices of a 2-variable LE-only
+// problem (axis intersections and constraint-pair intersections) and
+// returns the best feasible objective.
+func bruteForce2D(p Problem) float64 {
+	feasible := func(x, y float64) bool {
+		if x < -1e-9 || y < -1e-9 {
+			return false
+		}
+		for _, c := range p.Constraints {
+			if c.Coeffs[0]*x+c.Coeffs[1]*y > c.RHS+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	best := math.Inf(-1)
+	consider := func(x, y float64) {
+		if feasible(x, y) {
+			v := p.Objective[0]*x + p.Objective[1]*y
+			if v > best {
+				best = v
+			}
+		}
+	}
+	consider(0, 0)
+	lines := make([][3]float64, 0, len(p.Constraints)+2)
+	for _, c := range p.Constraints {
+		lines = append(lines, [3]float64{c.Coeffs[0], c.Coeffs[1], c.RHS})
+	}
+	lines = append(lines, [3]float64{1, 0, 0}, [3]float64{0, 1, 0}) // axes
+	for i := 0; i < len(lines); i++ {
+		for j := i + 1; j < len(lines); j++ {
+			a1, b1, c1 := lines[i][0], lines[i][1], lines[i][2]
+			a2, b2, c2 := lines[j][0], lines[j][1], lines[j][2]
+			det := a1*b2 - a2*b1
+			if math.Abs(det) < 1e-12 {
+				continue
+			}
+			x := (c1*b2 - c2*b1) / det
+			y := (a1*c2 - a2*c1) / det
+			consider(x, y)
+		}
+	}
+	return best
+}
+
+func TestSenseString(t *testing.T) {
+	if LE.String() != "<=" || GE.String() != ">=" || EQ.String() != "=" {
+		t.Fatal("unexpected sense strings")
+	}
+	if Sense(9).String() == "" {
+		t.Fatal("unknown sense produced empty string")
+	}
+}
+
+func TestStatusString(t *testing.T) {
+	if Optimal.String() != "optimal" || Infeasible.String() != "infeasible" ||
+		Unbounded.String() != "unbounded" {
+		t.Fatal("unexpected status strings")
+	}
+	if Status(7).String() == "" {
+		t.Fatal("unknown status produced empty string")
+	}
+}

@@ -1,0 +1,46 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+func benchPhase(b *testing.B, proc Process, n, rounds int) {
+	b.Helper()
+	nm, err := noise.Uniform(4, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	e, err := NewEngine(n, nm, proc, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	ops := make([]Opinion, n)
+	for i := range ops {
+		ops[i] = Opinion(i % 4)
+	}
+	b.ReportAllocs()
+	b.SetBytes(int64(n * rounds)) // messages per op, for msg/s visibility
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.RunPhase(ops, rounds); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPhaseProcessO measures the real push engine: the throughput
+// number (MB/s here reads as messages/µs) bounds every simulation in
+// the repository.
+func BenchmarkPhaseProcessO(b *testing.B) { benchPhase(b, ProcessO, 10000, 32) }
+
+// BenchmarkPhaseProcessB measures the balls-into-bins engine, which is
+// O(n·k) per phase instead of O(n·rounds).
+func BenchmarkPhaseProcessB(b *testing.B) { benchPhase(b, ProcessB, 10000, 32) }
+
+// BenchmarkPhaseProcessP measures the Poissonized engine.
+func BenchmarkPhaseProcessP(b *testing.B) { benchPhase(b, ProcessP, 10000, 32) }
+
+func BenchmarkPhaseProcessOLargeN(b *testing.B) { benchPhase(b, ProcessO, 100000, 8) }

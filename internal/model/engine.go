@@ -1,0 +1,264 @@
+package model
+
+import (
+	"fmt"
+
+	"github.com/gossipkit/noisyrumor/internal/dist"
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// Process selects which of the paper's three coupled processes the
+// engine simulates (see the package comment).
+type Process int
+
+// The three processes of Section 3.2.
+const (
+	ProcessO Process = iota // real uniform push (default)
+	ProcessB                // balls-into-bins, Definition 3
+	ProcessP                // independent Poisson, Definition 4
+)
+
+// String names the process.
+func (p Process) String() string {
+	switch p {
+	case ProcessO:
+		return "O"
+	case ProcessB:
+		return "B"
+	case ProcessP:
+		return "P"
+	default:
+		return fmt.Sprintf("Process(%d)", int(p))
+	}
+}
+
+// PhaseResult exposes one phase's deliveries. The slices alias engine
+// buffers and are valid only until the next RunPhase call.
+type PhaseResult struct {
+	// Counts[u*K+i] is the number of opinion-i messages node u
+	// received during the phase.
+	Counts []int32
+	// Total[u] is the total number of messages node u received.
+	Total []int32
+	// Sent is the number of messages pushed during the phase.
+	Sent int
+	// K is the opinion-space size (row stride of Counts).
+	K int
+}
+
+// Engine simulates phases of the noisy uniform push model on a fixed
+// population. It is not safe for concurrent use; the experiment
+// harness runs one engine per trial goroutine.
+type Engine struct {
+	n       int
+	k       int
+	proc    Process
+	nm      *noise.Matrix
+	tables  []*dist.AliasTable
+	noisy   bool
+	r       *rng.Rand
+	counts  []int32
+	total   []int32
+	sentBuf []int // per-opinion sent counts, reused
+	recvBuf []int // per-opinion post-noise counts, reused
+	binBuf  []int // per-bin multinomial buffer, reused (B only)
+	rowBuf  []int // k-length multinomial buffer (B, P)
+	probBuf []float64
+}
+
+// NewEngine builds an engine for n nodes under the given noise matrix
+// and process. The matrix also fixes k.
+func NewEngine(n int, nm *noise.Matrix, proc Process, r *rng.Rand) (*Engine, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("model: NewEngine with n=%d", n)
+	}
+	if nm == nil {
+		return nil, fmt.Errorf("model: NewEngine with nil noise matrix")
+	}
+	if r == nil {
+		return nil, fmt.Errorf("model: NewEngine with nil rng")
+	}
+	switch proc {
+	case ProcessO, ProcessB, ProcessP:
+	default:
+		return nil, fmt.Errorf("model: unknown process %d", int(proc))
+	}
+	k := nm.K()
+	e := &Engine{
+		n:       n,
+		k:       k,
+		proc:    proc,
+		nm:      nm,
+		noisy:   !nm.IsIdentity(),
+		r:       r,
+		counts:  make([]int32, n*k),
+		total:   make([]int32, n),
+		sentBuf: make([]int, k),
+		recvBuf: make([]int, k),
+		rowBuf:  make([]int, k),
+		probBuf: make([]float64, k),
+	}
+	if e.noisy {
+		e.tables = nm.RowTables()
+	}
+	return e, nil
+}
+
+// N returns the population size.
+func (e *Engine) N() int { return e.n }
+
+// K returns the opinion-space size.
+func (e *Engine) K() int { return e.k }
+
+// Rand returns the engine's random stream, shared with the protocol
+// driving it so a single seed reproduces a whole run.
+func (e *Engine) Rand() *rng.Rand { return e.r }
+
+// RunPhase simulates `rounds` rounds in which every opinionated node
+// pushes its current opinion once per round (the behaviour of both
+// protocol stages; undecided nodes stay silent). It returns the
+// per-node delivery counts for the phase.
+func (e *Engine) RunPhase(ops []Opinion, rounds int) (PhaseResult, error) {
+	if len(ops) != e.n {
+		return PhaseResult{}, fmt.Errorf("model: RunPhase with %d opinions, want %d", len(ops), e.n)
+	}
+	if rounds < 0 {
+		return PhaseResult{}, fmt.Errorf("model: RunPhase with %d rounds", rounds)
+	}
+	for i := range e.counts {
+		e.counts[i] = 0
+	}
+	for i := range e.total {
+		e.total[i] = 0
+	}
+	sent := 0
+	switch e.proc {
+	case ProcessO:
+		sent = e.runPhaseO(ops, rounds)
+	case ProcessB:
+		sent = e.runPhaseB(ops, rounds)
+	case ProcessP:
+		sent = e.runPhaseP(ops, rounds)
+	}
+	return PhaseResult{Counts: e.counts, Total: e.total, Sent: sent, K: e.k}, nil
+}
+
+// runPhaseO is the real push model: per message, an independent noise
+// perturbation and an independent uniform target.
+func (e *Engine) runPhaseO(ops []Opinion, rounds int) int {
+	sent := 0
+	un := uint64(e.n)
+	for round := 0; round < rounds; round++ {
+		for _, op := range ops {
+			if op == Undecided {
+				continue
+			}
+			sent++
+			recv := int(op)
+			if e.noisy {
+				recv = e.tables[op].Sample(e.r)
+			}
+			target := int(e.r.Uint64n(un))
+			e.counts[target*e.k+recv]++
+			e.total[target]++
+		}
+	}
+	return sent
+}
+
+// phaseSent tallies how many messages of each opinion are pushed over
+// the phase (the multiset M_j of Section 3.2).
+func (e *Engine) phaseSent(ops []Opinion, rounds int) (total int) {
+	for i := range e.sentBuf {
+		e.sentBuf[i] = 0
+	}
+	for _, op := range ops {
+		if op == Undecided {
+			continue
+		}
+		e.sentBuf[op]++
+	}
+	for i := range e.sentBuf {
+		e.sentBuf[i] *= rounds
+		total += e.sentBuf[i]
+	}
+	return total
+}
+
+// applyNoiseBulk re-colors the sent multiset M_j into the received
+// multiset N_j with one multinomial draw per opinion (the first step
+// of process B).
+func (e *Engine) applyNoiseBulk() {
+	for i := range e.recvBuf {
+		e.recvBuf[i] = 0
+	}
+	for i, h := range e.sentBuf {
+		if h == 0 {
+			continue
+		}
+		if !e.noisy {
+			e.recvBuf[i] += h
+			continue
+		}
+		row := e.nm.Row(i)
+		copy(e.probBuf, row)
+		dist.SampleMultinomial(e.r, h, e.probBuf, e.rowBuf)
+		for j, c := range e.rowBuf {
+			e.recvBuf[j] += c
+		}
+	}
+}
+
+// runPhaseB implements Definition 3: bulk re-color, then throw each
+// color's balls uniformly into the n bins. Throwing g balls uniformly
+// into n bins yields multinomial per-bin counts, which are drawn with
+// sequential conditional binomials in O(n) per color instead of O(g)
+// ball-by-ball.
+func (e *Engine) runPhaseB(ops []Opinion, rounds int) int {
+	sent := e.phaseSent(ops, rounds)
+	e.applyNoiseBulk()
+	for j, g := range e.recvBuf {
+		if g == 0 {
+			continue
+		}
+		remaining := g
+		for u := 0; u < e.n && remaining > 0; u++ {
+			var c int
+			if u == e.n-1 {
+				c = remaining
+			} else {
+				c = dist.SampleBinomial(e.r, remaining, 1/float64(e.n-u))
+			}
+			if c > 0 {
+				e.counts[u*e.k+j] += int32(c)
+				e.total[u] += int32(c)
+				remaining -= c
+			}
+		}
+	}
+	return sent
+}
+
+// runPhaseP implements Definition 4: every node receives an
+// independent Poisson(h_j/n) number of opinion-j messages, with h_j
+// the noisy multiset counts.
+func (e *Engine) runPhaseP(ops []Opinion, rounds int) int {
+	sent := e.phaseSent(ops, rounds)
+	e.applyNoiseBulk()
+	nf := float64(e.n)
+	for j, g := range e.recvBuf {
+		if g == 0 {
+			continue
+		}
+		mu := float64(g) / nf
+		for u := 0; u < e.n; u++ {
+			c := dist.SamplePoisson(e.r, mu)
+			if c > 0 {
+				e.counts[u*e.k+j] += int32(c)
+				e.total[u] += int32(c)
+			}
+		}
+	}
+	return sent
+}

@@ -1,0 +1,344 @@
+package model
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/dist"
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+func newTestEngine(t *testing.T, n, k int, eps float64, proc Process, seed uint64) *Engine {
+	t.Helper()
+	var nm *noise.Matrix
+	var err error
+	if eps == 0 {
+		nm, err = noise.Identity(k)
+	} else {
+		nm, err = noise.Uniform(k, eps)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(n, nm, proc, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestNewEngineValidation(t *testing.T) {
+	nm, _ := noise.Identity(2)
+	r := rng.New(1)
+	if _, err := NewEngine(0, nm, ProcessO, r); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := NewEngine(5, nil, ProcessO, r); err == nil {
+		t.Fatal("nil matrix accepted")
+	}
+	if _, err := NewEngine(5, nm, Process(9), r); err == nil {
+		t.Fatal("bad process accepted")
+	}
+	if _, err := NewEngine(5, nm, ProcessO, nil); err == nil {
+		t.Fatal("nil rng accepted")
+	}
+}
+
+func TestRunPhaseValidation(t *testing.T) {
+	e := newTestEngine(t, 10, 2, 0, ProcessO, 1)
+	if _, err := e.RunPhase(make([]Opinion, 5), 1); err == nil {
+		t.Fatal("wrong-length opinions accepted")
+	}
+	if _, err := e.RunPhase(make([]Opinion, 10), -1); err == nil {
+		t.Fatal("negative rounds accepted")
+	}
+}
+
+func TestProcessOConservation(t *testing.T) {
+	// Every pushed message is delivered exactly once (O and B).
+	for _, proc := range []Process{ProcessO, ProcessB} {
+		e := newTestEngine(t, 100, 3, 0.2, proc, 2)
+		ops := make([]Opinion, 100)
+		for i := range ops {
+			if i%3 == 0 {
+				ops[i] = Undecided
+			} else {
+				ops[i] = Opinion(i % 3)
+			}
+		}
+		opinionated := 0
+		for _, o := range ops {
+			if o != Undecided {
+				opinionated++
+			}
+		}
+		const rounds = 7
+		res, err := e.RunPhase(ops, rounds)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sent != opinionated*rounds {
+			t.Fatalf("%v: sent = %d, want %d", proc, res.Sent, opinionated*rounds)
+		}
+		delivered := 0
+		for _, c := range res.Counts {
+			if c < 0 {
+				t.Fatalf("%v: negative count", proc)
+			}
+			delivered += int(c)
+		}
+		if delivered != res.Sent {
+			t.Fatalf("%v: delivered %d != sent %d", proc, delivered, res.Sent)
+		}
+		totalSum := 0
+		for _, v := range res.Total {
+			totalSum += int(v)
+		}
+		if totalSum != delivered {
+			t.Fatalf("%v: Total (%d) disagrees with Counts (%d)", proc, totalSum, delivered)
+		}
+	}
+}
+
+func TestProcessPTotalsMatchCounts(t *testing.T) {
+	e := newTestEngine(t, 200, 2, 0.2, ProcessP, 3)
+	ops := make([]Opinion, 200)
+	for i := range ops {
+		ops[i] = Opinion(i % 2)
+	}
+	res, err := e.RunPhase(ops, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for u := 0; u < 200; u++ {
+		sum := int32(0)
+		for j := 0; j < 2; j++ {
+			sum += res.Counts[u*2+j]
+		}
+		if sum != res.Total[u] {
+			t.Fatalf("node %d: counts sum %d != total %d", u, sum, res.Total[u])
+		}
+	}
+}
+
+func TestNoiselessSingleSource(t *testing.T) {
+	// One source pushing under the identity matrix: exactly `rounds`
+	// messages of its opinion get delivered, no other opinion appears.
+	for _, proc := range []Process{ProcessO, ProcessB} {
+		e := newTestEngine(t, 50, 3, 0, proc, 4)
+		ops := make([]Opinion, 50)
+		for i := range ops {
+			ops[i] = Undecided
+		}
+		ops[7] = 2
+		res, err := e.RunPhase(ops, 20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		for u := 0; u < 50; u++ {
+			for j := 0; j < 3; j++ {
+				c := int(res.Counts[u*3+j])
+				if j != 2 && c != 0 {
+					t.Fatalf("%v: spurious opinion %d delivered", proc, j)
+				}
+				got += c
+			}
+		}
+		if got != 20 {
+			t.Fatalf("%v: delivered %d, want 20", proc, got)
+		}
+	}
+}
+
+func TestNoPushersNoMessages(t *testing.T) {
+	for _, proc := range []Process{ProcessO, ProcessB, ProcessP} {
+		e := newTestEngine(t, 30, 2, 0.1, proc, 5)
+		ops := make([]Opinion, 30)
+		for i := range ops {
+			ops[i] = Undecided
+		}
+		res, err := e.RunPhase(ops, 10)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Sent != 0 {
+			t.Fatalf("%v: sent = %d", proc, res.Sent)
+		}
+		for _, c := range res.Counts {
+			if c != 0 {
+				t.Fatalf("%v: message delivered with no pushers", proc)
+			}
+		}
+	}
+}
+
+func TestZeroRounds(t *testing.T) {
+	e := newTestEngine(t, 10, 2, 0.1, ProcessO, 6)
+	ops := make([]Opinion, 10)
+	res, err := e.RunPhase(ops, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Sent != 0 {
+		t.Fatalf("sent = %d", res.Sent)
+	}
+}
+
+func TestNoiseActsAtExpectedRate(t *testing.T) {
+	// All nodes hold opinion 0; under Uniform(3, ε) a delivered
+	// message reads 0 with probability 1/3+ε.
+	const n = 2000
+	const rounds = 10
+	e := newTestEngine(t, n, 3, 0.3, ProcessO, 7)
+	ops := make([]Opinion, n)
+	res, err := e.RunPhase(ops, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	intact := 0
+	for u := 0; u < n; u++ {
+		intact += int(res.Counts[u*3+0])
+	}
+	total := float64(n * rounds)
+	rate := float64(intact) / total
+	want := 1.0/3 + 0.3
+	sd := math.Sqrt(want * (1 - want) / total)
+	if math.Abs(rate-want) > 6*sd {
+		t.Fatalf("intact rate = %v, want %v ± %v", rate, want, 6*sd)
+	}
+}
+
+// collectTotalsHistogram runs a phase and histograms per-node totals.
+func collectTotalsHistogram(t *testing.T, proc Process, seed uint64, n, rounds, maxBin int) []int {
+	t.Helper()
+	e := newTestEngine(t, n, 2, 0.2, proc, seed)
+	ops := make([]Opinion, n)
+	for i := range ops {
+		ops[i] = Opinion(i % 2)
+	}
+	res, err := e.RunPhase(ops, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hist := make([]int, maxBin+1)
+	for _, v := range res.Total {
+		b := int(v)
+		if b > maxBin {
+			b = maxBin
+		}
+		hist[b]++
+	}
+	return hist
+}
+
+func TestProcessesOAndBIndistinguishable(t *testing.T) {
+	// Claim 1: the per-node received-count distribution must match
+	// between O and B. Two-sample chi-square on the totals histogram.
+	const n = 5000
+	const rounds = 8
+	hO := collectTotalsHistogram(t, ProcessO, 100, n, rounds, 25)
+	hB := collectTotalsHistogram(t, ProcessB, 200, n, rounds, 25)
+	res, err := dist.ChiSquareTwoSample(hO, hB, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 1e-5 {
+		t.Fatalf("O vs B distinguishable: X²=%v df=%d p=%v", res.Statistic, res.DF, res.PValue)
+	}
+}
+
+func TestProcessesOAndPIndistinguishable(t *testing.T) {
+	// Lemma 3 direction: per-node totals under P are Poisson(rounds·a)
+	// and under O Binomial(h, 1/n); at these sizes the histograms must
+	// be statistically indistinguishable.
+	const n = 5000
+	const rounds = 8
+	hO := collectTotalsHistogram(t, ProcessO, 300, n, rounds, 25)
+	hP := collectTotalsHistogram(t, ProcessP, 400, n, rounds, 25)
+	res, err := dist.ChiSquareTwoSample(hO, hP, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.PValue < 1e-5 {
+		t.Fatalf("O vs P distinguishable: X²=%v df=%d p=%v", res.Statistic, res.DF, res.PValue)
+	}
+}
+
+func TestProcessPMatchesPoissonExactly(t *testing.T) {
+	// Under P with all nodes pushing opinion 0 and identity noise,
+	// each node's total is exactly Poisson(rounds). GoF-test it.
+	const n = 20000
+	const rounds = 5
+	e := newTestEngine(t, n, 2, 0, ProcessP, 8)
+	ops := make([]Opinion, n)
+	res, err := e.RunPhase(ops, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const maxBin = 20
+	hist := make([]int, maxBin+1)
+	for _, v := range res.Total {
+		b := int(v)
+		if b > maxBin {
+			b = maxBin
+		}
+		hist[b]++
+	}
+	expected := make([]float64, maxBin+1)
+	for kk := 0; kk < maxBin; kk++ {
+		expected[kk] = float64(n) * dist.PoissonPMF(rounds, kk)
+	}
+	expected[maxBin] = float64(n) * (1 - dist.PoissonCDF(rounds, maxBin-1))
+	gof, err := dist.ChiSquareGoF(hist, expected, 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gof.PValue < 1e-5 {
+		t.Fatalf("process P totals not Poisson: X²=%v p=%v", gof.Statistic, gof.PValue)
+	}
+}
+
+func TestEngineAccessors(t *testing.T) {
+	e := newTestEngine(t, 13, 4, 0.1, ProcessO, 9)
+	if e.N() != 13 || e.K() != 4 {
+		t.Fatalf("N=%d K=%d", e.N(), e.K())
+	}
+	if e.Rand() == nil {
+		t.Fatal("nil Rand")
+	}
+}
+
+func TestProcessString(t *testing.T) {
+	if ProcessO.String() != "O" || ProcessB.String() != "B" || ProcessP.String() != "P" {
+		t.Fatal("process names wrong")
+	}
+	if Process(42).String() == "" {
+		t.Fatal("unknown process name empty")
+	}
+}
+
+func TestPhaseBufferReuseIsSafe(t *testing.T) {
+	// Two consecutive phases must not leak counts into each other.
+	e := newTestEngine(t, 40, 2, 0, ProcessO, 10)
+	ops := make([]Opinion, 40)
+	for i := range ops {
+		ops[i] = 0
+	}
+	if _, err := e.RunPhase(ops, 3); err != nil {
+		t.Fatal(err)
+	}
+	for i := range ops {
+		ops[i] = Undecided
+	}
+	res, err := e.RunPhase(ops, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range res.Counts {
+		if c != 0 {
+			t.Fatal("counts leaked across phases")
+		}
+	}
+}

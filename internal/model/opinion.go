@@ -1,0 +1,152 @@
+// Package model implements the noisy uniform push communication model
+// of Section 2.1: a complete network of n anonymous nodes proceeding in
+// synchronous rounds, where every opinionated node pushes its opinion
+// to a node chosen uniformly at random and each message is perturbed
+// independently by a noise matrix before delivery.
+//
+// Because every protocol in the paper acts only on the multiset
+// R_j(u) of messages a node receives during a phase — never on arrival
+// order (Section 3.2, proof of Claim 1) — the engine represents a
+// phase's deliveries as per-node, per-opinion counts.
+//
+// The engine implements the paper's three coupled processes:
+//
+//   - Process O (the real protocol execution): each push picks an
+//     independent uniform target and the noise acts per message.
+//   - Process B (Definition 3, balls-into-bins): the phase's messages
+//     are re-colored by the noise in one multinomial step per opinion
+//     and then thrown uniformly into the n bins.
+//   - Process P (Definition 4, Poissonization): every node receives an
+//     independent Poisson(h_i/n) number of opinion-i messages, where
+//     h_i counts opinion i in the phase's noisy message multiset.
+//
+// Claim 1 proves O and B produce identically distributed phase
+// outcomes, and Lemma 3 transfers w.h.p. events from P to O.
+// Experiment E8 validates both statements empirically on this engine.
+//
+// Uniform targets include the sender itself, matching the
+// balls-into-bins formulation (and the Poisson means h_i/n) exactly;
+// the paper's "another agent chosen uniformly at random" differs from
+// this by O(1/n) and only in process O, where it would break the exact
+// coupling of Claim 1.
+package model
+
+import "fmt"
+
+// Opinion is a node's opinion: a value in [0, K) or Undecided.
+// The paper indexes opinions 1..k; this implementation uses 0..k−1.
+type Opinion = int32
+
+// Undecided marks a node with no opinion. Undecided nodes never push
+// (Section 2.1: they "are not allowed to send any message before
+// receiving any of them").
+const Undecided Opinion = -1
+
+// CountOpinions tallies how many nodes hold each opinion. Undecided
+// nodes are not counted; the second return value is their number.
+func CountOpinions(ops []Opinion, k int) (counts []int, undecided int) {
+	counts = make([]int, k)
+	for _, o := range ops {
+		if o == Undecided {
+			undecided++
+			continue
+		}
+		counts[o]++
+	}
+	return counts, undecided
+}
+
+// Distribution returns the paper's c vector: the fraction of *all*
+// nodes supporting each opinion (so the entries sum to the opinionated
+// fraction a, per Section 2.2).
+func Distribution(ops []Opinion, k int) []float64 {
+	counts, _ := CountOpinions(ops, k)
+	c := make([]float64, k)
+	n := float64(len(ops))
+	if n == 0 {
+		return c
+	}
+	for i, v := range counts {
+		c[i] = float64(v) / n
+	}
+	return c
+}
+
+// Plurality returns the opinion with the highest count and whether it
+// is a strict plurality (no tie). Undecided nodes are ignored. When no
+// node is opinionated it returns (Undecided, false).
+func Plurality(ops []Opinion, k int) (Opinion, bool) {
+	counts, _ := CountOpinions(ops, k)
+	best, bestCount, ties := Opinion(Undecided), -1, 0
+	for i, v := range counts {
+		switch {
+		case v > bestCount:
+			best, bestCount, ties = Opinion(i), v, 1
+		case v == bestCount:
+			ties++
+		}
+	}
+	if bestCount <= 0 {
+		return Undecided, false
+	}
+	return best, ties == 1
+}
+
+// Consensus reports whether every node supports opinion m.
+func Consensus(ops []Opinion, m Opinion) bool {
+	for _, o := range ops {
+		if o != m {
+			return false
+		}
+	}
+	return true
+}
+
+// InitRumor returns the rumor-spreading initial state: node 0 is the
+// source holding opinion m, everyone else undecided.
+func InitRumor(n, k int, m Opinion) ([]Opinion, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("model: InitRumor with n=%d", n)
+	}
+	if m < 0 || int(m) >= k {
+		return nil, fmt.Errorf("model: InitRumor opinion %d out of range [0,%d)", m, k)
+	}
+	ops := make([]Opinion, n)
+	for i := range ops {
+		ops[i] = Undecided
+	}
+	ops[0] = m
+	return ops, nil
+}
+
+// InitPlurality returns a plurality-consensus initial state: counts[i]
+// nodes hold opinion i (assigned to the lowest-index nodes in order)
+// and the rest are undecided. The caller is responsible for shuffling
+// if node identity matters; under the uniform push model it does not.
+func InitPlurality(n int, counts []int) ([]Opinion, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("model: InitPlurality with n=%d", n)
+	}
+	total := 0
+	for i, c := range counts {
+		if c < 0 {
+			return nil, fmt.Errorf("model: InitPlurality count[%d] = %d negative", i, c)
+		}
+		total += c
+	}
+	if total > n {
+		return nil, fmt.Errorf("model: InitPlurality counts sum to %d > n=%d", total, n)
+	}
+	ops := make([]Opinion, n)
+	idx := 0
+	for i, c := range counts {
+		for j := 0; j < c; j++ {
+			ops[idx] = Opinion(i)
+			idx++
+		}
+	}
+	for ; idx < n; idx++ {
+		ops[idx] = Undecided
+	}
+	return ops, nil
+}

@@ -1,0 +1,108 @@
+package model
+
+import (
+	"math"
+	"testing"
+)
+
+func TestCountOpinions(t *testing.T) {
+	ops := []Opinion{0, 1, 1, Undecided, 2, 1}
+	counts, und := CountOpinions(ops, 3)
+	if und != 1 {
+		t.Fatalf("undecided = %d", und)
+	}
+	want := []int{1, 3, 1}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+}
+
+func TestDistributionSumsToOpinionatedFraction(t *testing.T) {
+	ops := []Opinion{0, 1, Undecided, Undecided}
+	c := Distribution(ops, 2)
+	if math.Abs(c[0]-0.25) > 1e-12 || math.Abs(c[1]-0.25) > 1e-12 {
+		t.Fatalf("c = %v", c)
+	}
+}
+
+func TestDistributionEmpty(t *testing.T) {
+	c := Distribution(nil, 3)
+	for _, v := range c {
+		if v != 0 {
+			t.Fatalf("c = %v", c)
+		}
+	}
+}
+
+func TestPlurality(t *testing.T) {
+	ops := []Opinion{0, 0, 1, 2, Undecided}
+	m, strict := Plurality(ops, 3)
+	if m != 0 || !strict {
+		t.Fatalf("plurality = %d strict=%v", m, strict)
+	}
+	ops = []Opinion{0, 1, Undecided}
+	if _, strict := Plurality(ops, 2); strict {
+		t.Fatal("tie reported as strict")
+	}
+	if m, strict := Plurality([]Opinion{Undecided, Undecided}, 2); m != Undecided || strict {
+		t.Fatalf("all-undecided plurality = %d strict=%v", m, strict)
+	}
+}
+
+func TestConsensus(t *testing.T) {
+	if !Consensus([]Opinion{1, 1, 1}, 1) {
+		t.Fatal("consensus not detected")
+	}
+	if Consensus([]Opinion{1, 1, 0}, 1) {
+		t.Fatal("false consensus")
+	}
+	if Consensus([]Opinion{1, Undecided}, 1) {
+		t.Fatal("undecided counted as consensus")
+	}
+}
+
+func TestInitRumor(t *testing.T) {
+	ops, err := InitRumor(5, 3, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ops[0] != 2 {
+		t.Fatalf("source opinion = %d", ops[0])
+	}
+	for i := 1; i < 5; i++ {
+		if ops[i] != Undecided {
+			t.Fatalf("node %d = %d, want undecided", i, ops[i])
+		}
+	}
+	if _, err := InitRumor(0, 3, 0); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+	if _, err := InitRumor(5, 3, 3); err == nil {
+		t.Fatal("out-of-range opinion accepted")
+	}
+	if _, err := InitRumor(5, 3, -1); err == nil {
+		t.Fatal("negative opinion accepted")
+	}
+}
+
+func TestInitPlurality(t *testing.T) {
+	ops, err := InitPlurality(10, []int{3, 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts, und := CountOpinions(ops, 2)
+	if counts[0] != 3 || counts[1] != 2 || und != 5 {
+		t.Fatalf("counts=%v undecided=%d", counts, und)
+	}
+	if _, err := InitPlurality(4, []int{3, 2}); err == nil {
+		t.Fatal("overfull counts accepted")
+	}
+	if _, err := InitPlurality(4, []int{-1}); err == nil {
+		t.Fatal("negative count accepted")
+	}
+	if _, err := InitPlurality(0, nil); err == nil {
+		t.Fatal("n=0 accepted")
+	}
+}

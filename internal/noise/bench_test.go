@@ -1,0 +1,49 @@
+package noise
+
+import (
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+func BenchmarkApplyK8(b *testing.B) {
+	m, err := Uniform(8, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := []float64{0.3, 0.2, 0.1, 0.1, 0.1, 0.1, 0.05, 0.05}
+	dst := make([]float64, 8)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		m.Apply(c, dst)
+	}
+}
+
+func BenchmarkPerturb(b *testing.B) {
+	m, err := Uniform(8, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	tables := m.RowTables()
+	r := rng.New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += Perturb(tables, r, i%8)
+	}
+	_ = sink
+}
+
+// BenchmarkIsMajorityPreservingK8 measures the exact Section-4 LP
+// verdict for an 8-opinion matrix (7 LPs of 8 variables each).
+func BenchmarkIsMajorityPreservingK8(b *testing.B) {
+	m, err := Uniform(8, 0.2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := m.IsMajorityPreserving(0, 0.1, 0.1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

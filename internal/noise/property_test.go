@@ -1,0 +1,161 @@
+package noise
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// TestLPOptimumDominatesSampledWitnesses cross-checks the simplex
+// solver against brute force: the LP's worst kept bias must be ≤ the
+// kept bias of every randomly sampled δ-biased distribution (it is the
+// minimum over the polytope).
+func TestLPOptimumDominatesSampledWitnesses(t *testing.T) {
+	r := rng.New(777)
+	for trial := 0; trial < 60; trial++ {
+		k := 3 + r.Intn(4)
+		m, err := NearUniform(k, 0.3+r.Float64()*0.5, 0, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Perturb into a generic matrix by mixing with a random
+		// stochastic matrix.
+		rows := make([][]float64, k)
+		for i := range rows {
+			rows[i] = m.Row(i)
+			extra := make([]float64, k)
+			total := 0.0
+			for j := range extra {
+				extra[j] = r.Float64()
+				total += extra[j]
+			}
+			for j := range rows[i] {
+				rows[i][j] = 0.7*rows[i][j] + 0.3*extra[j]/total
+			}
+		}
+		gm, err := New(rows)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := 0.05 + r.Float64()*0.3
+		res, err := gm.IsMajorityPreserving(0, 0, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sample δ-biased distributions and check none keeps less
+		// bias than the LP's reported minimum.
+		out := make([]float64, k)
+		for s := 0; s < 200; s++ {
+			c := randomDeltaBiased(r, k, 0, delta)
+			gm.Apply(c, out)
+			kept := Bias(out, 0)
+			if kept < res.WorstBias-1e-7 {
+				t.Fatalf("sampled witness keeps %v < LP minimum %v (trial %d)",
+					kept, res.WorstBias, trial)
+			}
+		}
+	}
+}
+
+// randomDeltaBiased draws a random distribution with c[m] − c[i] ≥ delta
+// for all rivals i.
+func randomDeltaBiased(r *rng.Rand, k, m int, delta float64) []float64 {
+	// Start from random non-negative rival weights, then give m the
+	// required lead over the largest rival and normalize.
+	c := make([]float64, k)
+	maxRival := 0.0
+	for i := range c {
+		if i == m {
+			continue
+		}
+		c[i] = r.Float64()
+		if c[i] > maxRival {
+			maxRival = c[i]
+		}
+	}
+	c[m] = maxRival + delta*float64(k) // generous lead pre-normalization
+	total := 0.0
+	for _, v := range c {
+		total += v
+	}
+	for i := range c {
+		c[i] /= total
+	}
+	// Normalization shrinks gaps; enforce the constraint exactly by
+	// shifting mass from rivals to m until satisfied.
+	for i := 0; i < k; i++ {
+		if i == m {
+			continue
+		}
+		if gap := c[m] - c[i]; gap < delta {
+			need := (delta - gap) / 2
+			if c[i] < need {
+				need = c[i]
+			}
+			c[i] -= need
+			c[m] += need
+		}
+	}
+	return c
+}
+
+func TestRandomDeltaBiasedSatisfiesConstraint(t *testing.T) {
+	r := rng.New(778)
+	for trial := 0; trial < 500; trial++ {
+		k := 2 + r.Intn(5)
+		delta := 0.02 + r.Float64()*0.3
+		c := randomDeltaBiased(r, k, 0, delta)
+		sum := 0.0
+		for _, v := range c {
+			if v < -1e-12 {
+				t.Fatalf("negative mass: %v", c)
+			}
+			sum += v
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("mass %v", sum)
+		}
+		if b := Bias(c, 0); b < delta-1e-9 {
+			t.Fatalf("bias %v < δ=%v: %v", b, delta, c)
+		}
+	}
+}
+
+// TestMaxEpsilonConsistentWithVerdicts: for any matrix, the verdict at
+// ε slightly below MaxEpsilonMP must be positive and slightly above
+// must be negative.
+func TestMaxEpsilonConsistentWithVerdicts(t *testing.T) {
+	r := rng.New(779)
+	for trial := 0; trial < 40; trial++ {
+		k := 3 + r.Intn(3)
+		diag := 0.5 + r.Float64()*0.3
+		base := (1 - diag) / float64(k-1)
+		m, err := NearUniform(k, diag, r.Float64()*base*0.5, r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		delta := 0.1 + r.Float64()*0.4
+		sup, err := m.MaxEpsilonMP(0, delta, 1e-9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sup <= 0 {
+			continue
+		}
+		below, err := m.IsMajorityPreserving(0, sup*0.99, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !below.MP {
+			t.Fatalf("not m.p. just below the supremum (trial %d)", trial)
+		}
+		above, err := m.IsMajorityPreserving(0, sup*1.01, delta)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if above.MP {
+			t.Fatalf("m.p. above the supremum (trial %d)", trial)
+		}
+	}
+}

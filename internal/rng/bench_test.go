@@ -1,0 +1,56 @@
+package rng
+
+import "testing"
+
+func BenchmarkXoshiroUint64(b *testing.B) {
+	x := NewXoshiro256(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= x.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkPCG32Uint64(b *testing.B) {
+	p := NewPCG32(1, 2)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= p.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkSplitMix64(b *testing.B) {
+	s := NewSplitMix64(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink ^= r.Uint64n(1000003) // non-power-of-two: the slow path
+	}
+	_ = sink
+}
+
+func BenchmarkFloat64(b *testing.B) {
+	r := New(1)
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		sink += r.Float64()
+	}
+	_ = sink
+}
+
+func BenchmarkPerm100(b *testing.B) {
+	r := New(1)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		_ = r.Perm(100)
+	}
+}

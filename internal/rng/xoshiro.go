@@ -1,0 +1,63 @@
+package rng
+
+import "math/bits"
+
+// Xoshiro256 is the xoshiro256** 1.0 generator of Blackman and Vigna
+// (2018): 256 bits of state, period 2^256−1, excellent statistical
+// quality, and ~1ns per call. It is the default Source for all
+// simulations in this repository.
+type Xoshiro256 struct {
+	s [4]uint64
+}
+
+// NewXoshiro256 returns a generator whose state is expanded from seed
+// via SplitMix64, as recommended by the algorithm's authors. All seeds,
+// including 0, produce a valid (non-zero) state.
+func NewXoshiro256(seed uint64) *Xoshiro256 {
+	sm := NewSplitMix64(seed)
+	var x Xoshiro256
+	for i := range x.s {
+		x.s[i] = sm.Uint64()
+	}
+	return &x
+}
+
+// Uint64 returns the next value of the stream.
+func (x *Xoshiro256) Uint64() uint64 {
+	s := &x.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+
+	return result
+}
+
+// Jump advances the generator by 2^128 steps, equivalent to 2^128 calls
+// to Uint64. Repeated Jump calls carve the period into non-overlapping
+// sub-streams, an alternative to seed forking when long-range stream
+// independence must be provable rather than merely statistical.
+func (x *Xoshiro256) Jump() {
+	jump := [4]uint64{
+		0x180ec6d33cfd0aba, 0xd5a61266f0c9392c,
+		0xa9582618e03fc9aa, 0x39abdc4529b1661c,
+	}
+	var s0, s1, s2, s3 uint64
+	for _, j := range jump {
+		for b := 0; b < 64; b++ {
+			if j&(1<<uint(b)) != 0 {
+				s0 ^= x.s[0]
+				s1 ^= x.s[1]
+				s2 ^= x.s[2]
+				s3 ^= x.s[3]
+			}
+			x.Uint64()
+		}
+	}
+	x.s[0], x.s[1], x.s[2], x.s[3] = s0, s1, s2, s3
+}

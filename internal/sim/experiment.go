@@ -1,0 +1,116 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Report is the rendered outcome of one experiment.
+type Report struct {
+	// ID is the experiment identifier (E1…E14).
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Claim cites the paper statement being validated.
+	Claim string
+	// Params records the concrete workload parameters used.
+	Params string
+	// Tables holds the result tables.
+	Tables []*Table
+	// Findings holds the verdict lines (paper vs measured).
+	Findings []string
+}
+
+// Markdown renders the full report.
+func (r *Report) Markdown() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "### %s — %s\n\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "*Claim:* %s\n\n", r.Claim)
+	if r.Params != "" {
+		fmt.Fprintf(&b, "*Parameters:* %s\n\n", r.Params)
+	}
+	for _, t := range r.Tables {
+		b.WriteString(t.Markdown())
+		b.WriteByte('\n')
+	}
+	if len(r.Findings) > 0 {
+		b.WriteString("*Findings:*\n\n")
+		for _, f := range r.Findings {
+			fmt.Fprintf(&b, "- %s\n", f)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+// Text renders the report for terminal output.
+func (r *Report) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "=== %s — %s ===\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "Claim: %s\n", r.Claim)
+	if r.Params != "" {
+		fmt.Fprintf(&b, "Parameters: %s\n", r.Params)
+	}
+	b.WriteByte('\n')
+	for _, t := range r.Tables {
+		b.WriteString(t.Text())
+		b.WriteByte('\n')
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "* %s\n", f)
+	}
+	return b.String()
+}
+
+// Experiment couples an identifier with a runner.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(cfg Config) (*Report, error)
+}
+
+// Registry returns all experiments in ID order.
+func Registry() []Experiment {
+	exps := []Experiment{
+		{ID: "E1", Title: "Rumor spreading round complexity vs n (k=2, recovers FHK)", Run: RunE1},
+		{ID: "E2", Title: "Rumor spreading vs number of opinions k (Theorem 1)", Run: RunE2},
+		{ID: "E3", Title: "1/ε² scaling and the Appendix-D failure regime", Run: RunE3},
+		{ID: "E4", Title: "Stage 1 growth and bias (Claims 2–3, Lemma 7)", Run: RunE4},
+		{ID: "E5", Title: "Stage 2 bias amplification (Proposition 1, Lemma 12)", Run: RunE5},
+		{ID: "E6", Title: "Plurality consensus thresholds (Theorem 2)", Run: RunE6},
+		{ID: "E7", Title: "(ε,δ)-majority-preserving characterization (Section 4)", Run: RunE7},
+		{ID: "E8", Title: "Process coupling O ≈ B ≈ P (Claim 1, Lemma 3)", Run: RunE8},
+		{ID: "E9", Title: "Exact majority gap vs Proposition-1 bound (Lemmas 9–11)", Run: RunE9},
+		{ID: "E10", Title: "Baseline dynamics vs the two-stage protocol under noise", Run: RunE10},
+		{ID: "E11", Title: "Memory: counter bits vs n and ε (Theorems 1–2)", Run: RunE11},
+		{ID: "E12", Title: "Sample-size parity (Appendix C, Lemma 17)", Run: RunE12},
+		{ID: "E13", Title: "Trinomial tail bound (Lemma 16)", Run: RunE13},
+		{ID: "E14", Title: "Analytic identities (Lemmas 8, 13, 15)", Run: RunE14},
+		{ID: "E15", Title: "Ablation: Stage-2 constants c and extra phases", Run: RunE15},
+		{ID: "E16", Title: "Beyond the paper: k growing with n (open problem)", Run: RunE16},
+		{ID: "E17", Title: "Round-budget necessity (Ω(log n/ε²) lower bound)", Run: RunE17},
+		{ID: "E18", Title: "Clock-jitter robustness (footnote 3)", Run: RunE18},
+		{ID: "E19", Title: "Adversarial fault tolerance (O(√n) yardstick)", Run: RunE19},
+	}
+	sort.SliceStable(exps, func(i, j int) bool {
+		return idOrder(exps[i].ID) < idOrder(exps[j].ID)
+	})
+	return exps
+}
+
+func idOrder(id string) int {
+	var n int
+	fmt.Sscanf(id, "E%d", &n)
+	return n
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range Registry() {
+		if strings.EqualFold(e.ID, id) {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

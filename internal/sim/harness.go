@@ -1,0 +1,76 @@
+// Package sim is the experiment harness of the reproduction: a
+// deterministic parallel trial runner, table rendering (text, markdown
+// and CSV), and the registry of validation experiments E1–E14 defined
+// in DESIGN.md, each of which checks one of the paper's claims
+// (theorems, lemmas, examples or appendix discussions) against
+// simulation or exact computation.
+//
+// Determinism contract: an experiment's output depends only on
+// (Config.Seed, Config.Quick). Trials are distributed over a worker
+// pool, but every trial's random stream is derived from the seed and
+// the trial index alone (rng.ForkSeed), never from scheduling order.
+package sim
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// Config controls an experiment run.
+type Config struct {
+	// Seed drives every random choice of the experiment.
+	Seed uint64
+	// Workers bounds trial parallelism; 0 means GOMAXPROCS.
+	Workers int
+	// Quick shrinks population sizes and trial counts to CI scale.
+	// Full-size runs are what EXPERIMENTS.md records.
+	Quick bool
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// Parallel runs fn for trials 0..trials−1 on a bounded worker pool and
+// returns the results in trial order. Each trial receives its own
+// deterministic random stream derived from (seed, trial).
+func Parallel[T any](cfg Config, seed uint64, trials int, fn func(trial int, r *rng.Rand) T) []T {
+	out := make([]T, trials)
+	if trials == 0 {
+		return out
+	}
+	workers := cfg.workers()
+	if workers > trials {
+		workers = trials
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				out[t] = fn(t, rng.New(rng.ForkSeed(seed, uint64(t))))
+			}
+		}()
+	}
+	for t := 0; t < trials; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// pick returns full in full mode and quick in quick mode.
+func pick[T any](cfg Config, full, quick T) T {
+	if cfg.Quick {
+		return quick
+	}
+	return full
+}

@@ -1,0 +1,81 @@
+package sim
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableText(t *testing.T) {
+	tab := NewTable("demo", "a", "bb")
+	tab.AddRow("1", "2")
+	tab.AddRow("333", "4")
+	text := tab.Text()
+	if !strings.Contains(text, "demo") {
+		t.Fatalf("missing title: %q", text)
+	}
+	if !strings.Contains(text, "333") {
+		t.Fatalf("missing cell: %q", text)
+	}
+	lines := strings.Split(strings.TrimRight(text, "\n"), "\n")
+	if len(lines) != 5 { // title, header, separator, 2 rows
+		t.Fatalf("got %d lines: %q", len(lines), text)
+	}
+}
+
+func TestTableMarkdown(t *testing.T) {
+	tab := NewTable("demo", "a", "b")
+	tab.AddRow("x", "y")
+	md := tab.Markdown()
+	if !strings.Contains(md, "| a | b |") || !strings.Contains(md, "| x | y |") {
+		t.Fatalf("markdown = %q", md)
+	}
+	if !strings.Contains(md, "| --- | --- |") {
+		t.Fatalf("missing separator: %q", md)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tab := NewTable("", "a", "b")
+	tab.AddRow(`has,comma`, `has"quote`)
+	csv := tab.CSV()
+	if !strings.Contains(csv, `"has,comma"`) {
+		t.Fatalf("comma not quoted: %q", csv)
+	}
+	if !strings.Contains(csv, `"has""quote"`) {
+		t.Fatalf("quote not escaped: %q", csv)
+	}
+}
+
+func TestTableAddRowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on column mismatch")
+		}
+	}()
+	NewTable("x", "a", "b").AddRow("only one")
+}
+
+func TestTableAccessors(t *testing.T) {
+	tab := NewTable("x", "a")
+	tab.AddRow("v")
+	if tab.NumRows() != 1 || tab.Cell(0, 0) != "v" {
+		t.Fatal("accessors wrong")
+	}
+	rows := tab.Rows()
+	rows[0][0] = "mutated"
+	if tab.Cell(0, 0) == "mutated" {
+		t.Fatal("Rows did not deep-copy")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if f2(1.234) != "1.23" || f3(1.2345) != "1.234" || f4(1.23456) != "1.2346" {
+		t.Fatal("float formatters wrong")
+	}
+	if fi(42) != "42" {
+		t.Fatal("int formatter wrong")
+	}
+	if !strings.Contains(fe(0.000123), "e-") {
+		t.Fatalf("fe = %q", fe(0.000123))
+	}
+}

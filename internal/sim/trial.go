@@ -1,0 +1,92 @@
+package sim
+
+import (
+	"fmt"
+
+	"github.com/gossipkit/noisyrumor/internal/core"
+	"github.com/gossipkit/noisyrumor/internal/model"
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// outcome is the per-trial record the experiments aggregate.
+type outcome struct {
+	correct    bool
+	consensus  bool
+	rounds     int // rounds until all nodes correct (scheduled total if never)
+	scheduled  int
+	maxCounter int
+	memoryBits int
+	trace      []core.PhaseStats
+	err        error
+}
+
+// runProtocol executes one protocol trial. Errors are carried in the
+// outcome so Parallel trials can surface them after the fan-in.
+func runProtocol(r *rng.Rand, n int, nm *noise.Matrix, params core.Params,
+	initial []model.Opinion, correct model.Opinion, trace bool) outcome {
+
+	eng, err := model.NewEngine(n, nm, model.ProcessO, r)
+	if err != nil {
+		return outcome{err: err}
+	}
+	p, err := core.New(eng, params)
+	if err != nil {
+		return outcome{err: err}
+	}
+	p.SetTrace(trace)
+	res, err := p.Run(initial, correct)
+	if err != nil {
+		return outcome{err: err}
+	}
+	rounds := res.Rounds
+	if res.FirstAllCorrect >= 0 {
+		rounds = res.FirstAllCorrect
+	}
+	return outcome{
+		correct:    res.Correct,
+		consensus:  res.Consensus,
+		rounds:     rounds,
+		scheduled:  res.Rounds,
+		maxCounter: res.MaxCounter,
+		memoryBits: res.MemoryBits,
+		trace:      res.Trace,
+	}
+}
+
+// firstError scans trial outcomes for a failure.
+func firstError(outs []outcome) error {
+	for i, o := range outs {
+		if o.err != nil {
+			return fmt.Errorf("trial %d: %w", i, o.err)
+		}
+	}
+	return nil
+}
+
+// successStats aggregates correctness over trials.
+func successStats(outs []outcome) (successes int, meanRounds float64) {
+	sum := 0.0
+	for _, o := range outs {
+		if o.correct {
+			successes++
+		}
+		sum += float64(o.rounds)
+	}
+	return successes, sum / float64(len(outs))
+}
+
+// biasedCounts builds initial per-opinion node counts for a population
+// of size s over k opinions in which opinion 0 leads every rival by
+// exactly bias·s nodes (rounded) and the rivals share the rest evenly.
+func biasedCounts(s, k int, bias float64) []int {
+	counts := make([]int, k)
+	lead := int(bias * float64(s))
+	rest := s - lead
+	per := rest / k
+	for i := 0; i < k; i++ {
+		counts[i] = per
+	}
+	counts[0] += lead + (rest - per*k)
+	return counts
+}

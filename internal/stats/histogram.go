@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Histogram is a fixed-width binned counter over [Lo, Hi); observations
+// outside the range are folded into the first/last bin so no data is
+// silently dropped.
+type Histogram struct {
+	lo, hi float64
+	counts []int
+	total  int
+}
+
+// NewHistogram creates a histogram with bins equal-width bins over
+// [lo, hi). It panics if bins < 1 or hi ≤ lo: both indicate caller
+// bugs, not data conditions.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins < 1 {
+		panic("stats: NewHistogram with bins < 1")
+	}
+	if hi <= lo {
+		panic("stats: NewHistogram with hi <= lo")
+	}
+	return &Histogram{lo: lo, hi: hi, counts: make([]int, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	idx := int(float64(len(h.counts)) * (x - h.lo) / (h.hi - h.lo))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.counts) {
+		idx = len(h.counts) - 1
+	}
+	h.counts[idx]++
+	h.total++
+}
+
+// Counts returns a copy of the per-bin counts.
+func (h *Histogram) Counts() []int {
+	return append([]int(nil), h.counts...)
+}
+
+// Total returns the number of recorded observations.
+func (h *Histogram) Total() int { return h.total }
+
+// String renders a compact ASCII bar chart, one line per bin.
+func (h *Histogram) String() string {
+	if h.total == 0 {
+		return "(empty histogram)"
+	}
+	maxCount := 0
+	for _, c := range h.counts {
+		if c > maxCount {
+			maxCount = c
+		}
+	}
+	var b strings.Builder
+	width := (h.hi - h.lo) / float64(len(h.counts))
+	for i, c := range h.counts {
+		bar := 0
+		if maxCount > 0 {
+			bar = c * 40 / maxCount
+		}
+		fmt.Fprintf(&b, "[%8.3g, %8.3g) %7d %s\n",
+			h.lo+float64(i)*width, h.lo+float64(i+1)*width, c,
+			strings.Repeat("#", bar))
+	}
+	return b.String()
+}

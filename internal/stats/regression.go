@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Fit is an ordinary-least-squares line y = Intercept + Slope·x with
+// its coefficient of determination.
+type Fit struct {
+	Slope     float64
+	Intercept float64
+	R2        float64
+}
+
+// LinearFit fits y = a + b·x by least squares. It returns an error when
+// fewer than two distinct x values are supplied.
+func LinearFit(x, y []float64) (Fit, error) {
+	if len(x) != len(y) {
+		return Fit{}, fmt.Errorf("stats: LinearFit length mismatch: %d vs %d", len(x), len(y))
+	}
+	n := float64(len(x))
+	if len(x) < 2 {
+		return Fit{}, fmt.Errorf("stats: LinearFit needs at least 2 points, got %d", len(x))
+	}
+	var sx, sy float64
+	for i := range x {
+		sx += x[i]
+		sy += y[i]
+	}
+	mx, my := sx/n, sy/n
+	var sxx, sxy, syy float64
+	for i := range x {
+		dx := x[i] - mx
+		dy := y[i] - my
+		sxx += dx * dx
+		sxy += dx * dy
+		syy += dy * dy
+	}
+	if sxx == 0 {
+		return Fit{}, fmt.Errorf("stats: LinearFit with constant x")
+	}
+	b := sxy / sxx
+	a := my - b*mx
+	r2 := 1.0
+	if syy > 0 {
+		ssRes := syy - b*sxy
+		r2 = 1 - ssRes/syy
+	}
+	return Fit{Slope: b, Intercept: a, R2: r2}, nil
+}
+
+// LogLogFit fits log(y) = a + b·log(x), returning the power-law
+// exponent b. All inputs must be strictly positive. This is the tool
+// experiments E1–E3 use to confirm the O(log n/ε²) round complexity:
+// rounds-vs-1/ε² should fit exponent ≈ 1.
+func LogLogFit(x, y []float64) (Fit, error) {
+	if len(x) != len(y) {
+		return Fit{}, fmt.Errorf("stats: LogLogFit length mismatch: %d vs %d", len(x), len(y))
+	}
+	lx := make([]float64, len(x))
+	ly := make([]float64, len(y))
+	for i := range x {
+		if x[i] <= 0 || y[i] <= 0 {
+			return Fit{}, fmt.Errorf("stats: LogLogFit needs positive data, got (%v, %v) at %d", x[i], y[i], i)
+		}
+		lx[i] = math.Log(x[i])
+		ly[i] = math.Log(y[i])
+	}
+	return LinearFit(lx, ly)
+}

@@ -1,0 +1,284 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestSummaryBasics(t *testing.T) {
+	var s Summary
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(x)
+	}
+	if s.N() != 8 {
+		t.Fatalf("N = %d", s.N())
+	}
+	if got := s.Mean(); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("mean = %v", got)
+	}
+	// Sample variance of this classic dataset is 32/7.
+	if got := s.Variance(); math.Abs(got-32.0/7) > 1e-12 {
+		t.Fatalf("variance = %v, want %v", got, 32.0/7)
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Fatalf("min/max = %v/%v", s.Min(), s.Max())
+	}
+}
+
+func TestSummaryEmpty(t *testing.T) {
+	var s Summary
+	if !math.IsNaN(s.Mean()) || !math.IsNaN(s.Variance()) ||
+		!math.IsNaN(s.Min()) || !math.IsNaN(s.Max()) {
+		t.Fatal("empty summary should report NaN")
+	}
+}
+
+func TestSummarySingle(t *testing.T) {
+	var s Summary
+	s.Add(3)
+	if s.Mean() != 3 || s.Min() != 3 || s.Max() != 3 {
+		t.Fatal("single-element summary wrong")
+	}
+	if !math.IsNaN(s.Variance()) {
+		t.Fatal("variance of single element should be NaN")
+	}
+}
+
+func TestSummaryMatchesDirectComputation(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e100 {
+				continue
+			}
+			xs = append(xs, x)
+		}
+		if len(xs) < 2 {
+			return true
+		}
+		var s Summary
+		sum := 0.0
+		for _, x := range xs {
+			s.Add(x)
+			sum += x
+		}
+		mean := sum / float64(len(xs))
+		ss := 0.0
+		for _, x := range xs {
+			ss += (x - mean) * (x - mean)
+		}
+		directVar := ss / float64(len(xs)-1)
+		scale := 1 + math.Abs(mean)
+		if math.Abs(s.Mean()-mean) > 1e-9*scale {
+			return false
+		}
+		vscale := 1 + directVar
+		return math.Abs(s.Variance()-directVar) <= 1e-6*vscale
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSummaryCI95(t *testing.T) {
+	var s Summary
+	for i := 0; i < 100; i++ {
+		s.Add(float64(i % 10))
+	}
+	mean, hw := s.CI95()
+	if math.Abs(mean-4.5) > 1e-9 {
+		t.Fatalf("mean = %v", mean)
+	}
+	if hw <= 0 || hw > 1 {
+		t.Fatalf("half width = %v", hw)
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	var s Summary
+	s.Add(1)
+	s.Add(2)
+	s.Add(3)
+	if got := s.String(); !strings.Contains(got, "n=3") {
+		t.Fatalf("String() = %q", got)
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	var s Sample
+	for i := 1; i <= 100; i++ {
+		s.Add(float64(i))
+	}
+	if got := s.Median(); math.Abs(got-50.5) > 1e-9 {
+		t.Fatalf("median = %v", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Fatalf("q0 = %v", got)
+	}
+	if got := s.Quantile(1); got != 100 {
+		t.Fatalf("q1 = %v", got)
+	}
+	if got := s.Quantile(0.25); math.Abs(got-25.75) > 1e-9 {
+		t.Fatalf("q25 = %v", got)
+	}
+}
+
+func TestSampleQuantileEmpty(t *testing.T) {
+	var s Sample
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Fatal("empty sample quantile should be NaN")
+	}
+}
+
+func TestSampleValuesCopy(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	s.Add(1)
+	v := s.Values()
+	if len(v) != 2 || v[0] != 3 || v[1] != 1 {
+		t.Fatalf("Values = %v", v)
+	}
+	v[0] = 99
+	if s.Values()[0] == 99 {
+		t.Fatal("Values did not copy")
+	}
+}
+
+func TestSampleQuantileAfterMoreAdds(t *testing.T) {
+	var s Sample
+	s.Add(10)
+	s.Add(20)
+	_ = s.Median() // forces a sort
+	s.Add(0)       // must invalidate the sort
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("q0 after re-add = %v", got)
+	}
+}
+
+func TestLinearFitExactLine(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5}
+	y := []float64{3, 5, 7, 9, 11} // y = 1 + 2x
+	fit, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 1e-12 || math.Abs(fit.Intercept-1) > 1e-12 {
+		t.Fatalf("fit = %+v", fit)
+	}
+	if math.Abs(fit.R2-1) > 1e-12 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestLinearFitNoisy(t *testing.T) {
+	x := []float64{1, 2, 3, 4, 5, 6}
+	y := []float64{2.1, 3.9, 6.2, 7.8, 10.1, 11.9} // ~2x
+	fit, err := LinearFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-2) > 0.1 {
+		t.Fatalf("slope = %v", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Fatalf("R2 = %v", fit.R2)
+	}
+}
+
+func TestLinearFitErrors(t *testing.T) {
+	if _, err := LinearFit([]float64{1}, []float64{1, 2}); err == nil {
+		t.Fatal("length mismatch accepted")
+	}
+	if _, err := LinearFit([]float64{1}, []float64{1}); err == nil {
+		t.Fatal("single point accepted")
+	}
+	if _, err := LinearFit([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Fatal("constant x accepted")
+	}
+}
+
+func TestLogLogFitPowerLaw(t *testing.T) {
+	// y = 3 x^1.7
+	x := []float64{1, 2, 4, 8, 16, 32}
+	y := make([]float64, len(x))
+	for i := range x {
+		y[i] = 3 * math.Pow(x[i], 1.7)
+	}
+	fit, err := LogLogFit(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(fit.Slope-1.7) > 1e-10 {
+		t.Fatalf("exponent = %v, want 1.7", fit.Slope)
+	}
+	if math.Abs(math.Exp(fit.Intercept)-3) > 1e-9 {
+		t.Fatalf("prefactor = %v, want 3", math.Exp(fit.Intercept))
+	}
+}
+
+func TestLogLogFitRejectsNonPositive(t *testing.T) {
+	if _, err := LogLogFit([]float64{1, 0}, []float64{1, 1}); err == nil {
+		t.Fatal("zero x accepted")
+	}
+	if _, err := LogLogFit([]float64{1, 2}, []float64{1, -1}); err == nil {
+		t.Fatal("negative y accepted")
+	}
+}
+
+func TestHistogramBinning(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, x := range []float64{0, 1.9, 2, 5.5, 9.9, -3, 42} {
+		h.Add(x)
+	}
+	counts := h.Counts()
+	// -3 folds into bin 0; 42 folds into bin 4.
+	want := []int{3, 1, 1, 0, 2}
+	for i := range want {
+		if counts[i] != want[i] {
+			t.Fatalf("counts = %v, want %v", counts, want)
+		}
+	}
+	if h.Total() != 7 {
+		t.Fatalf("total = %d", h.Total())
+	}
+}
+
+func TestHistogramString(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	if got := h.String(); got != "(empty histogram)" {
+		t.Fatalf("empty histogram String = %q", got)
+	}
+	h.Add(0.25)
+	if got := h.String(); !strings.Contains(got, "#") {
+		t.Fatalf("String = %q, want a bar", got)
+	}
+}
+
+func TestHistogramPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 1, 0) },
+		func() { NewHistogram(1, 1, 3) },
+		func() { NewHistogram(2, 1, 3) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramCountsCopy(t *testing.T) {
+	h := NewHistogram(0, 1, 2)
+	h.Add(0.1)
+	c := h.Counts()
+	c[0] = 99
+	if h.Counts()[0] == 99 {
+		t.Fatal("Counts did not copy")
+	}
+}

@@ -1,0 +1,226 @@
+// Package noisyrumor is a Go implementation of the noisy rumor
+// spreading and plurality consensus protocol of Fraigniaud and Natale
+// (PODC 2016, arXiv:1507.05796): a complete network of n anonymous
+// agents, communicating only k-valued opinions through a noisy
+// uniform-push channel, reaches agreement on the correct/plurality
+// opinion in O(log n/ε²) rounds with O(log log n + log 1/ε) bits of
+// memory per node — without any error-correcting codes.
+//
+// The package is a facade over the internal simulation engine. A
+// minimal rumor-spreading run:
+//
+//	nm, _ := noisyrumor.UniformNoise(4, 0.25)
+//	res, _ := noisyrumor.RumorSpreading(noisyrumor.Config{
+//		N:     10000,
+//		Noise: nm,
+//		Seed:  1,
+//	}, 2)
+//	fmt.Println(res.Correct) // true w.h.p.
+//
+// Noise matrices are the heart of the model: entry (i, j) is the
+// probability that a transmitted opinion i arrives as opinion j. The
+// protocol provably works exactly when the matrix is
+// (ε,δ)-majority-preserving (Definition 2 of the paper); use
+// (*NoiseMatrix).IsMajorityPreserving for an exact LP-based verdict.
+//
+// See DESIGN.md for the architecture and the experiment suite that
+// validates every claim of the paper, and EXPERIMENTS.md for the
+// paper-vs-measured record.
+package noisyrumor
+
+import (
+	"fmt"
+
+	"github.com/gossipkit/noisyrumor/internal/core"
+	"github.com/gossipkit/noisyrumor/internal/model"
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// Opinion is an agent's opinion: a value in [0, k) or Undecided.
+type Opinion = model.Opinion
+
+// Undecided marks an agent holding no opinion; undecided agents never
+// send messages.
+const Undecided = model.Undecided
+
+// NoiseMatrix is a k×k row-stochastic channel perturbation matrix
+// (Section 2.1 of the paper). All methods of the internal type are
+// available, including IsMajorityPreserving (the Section-4 LP),
+// SufficientMP (Eq. 18), Apply (the Eq.-2 update) and OffDiagRange.
+type NoiseMatrix = noise.Matrix
+
+// MPResult is the verdict of an exact majority-preservation check.
+type MPResult = noise.MPResult
+
+// Params holds the protocol constants of Section 3.1.
+type Params = core.Params
+
+// Schedule is the protocol's deterministic phase structure.
+type Schedule = core.Schedule
+
+// Result reports a protocol execution.
+type Result = core.Result
+
+// PhaseStats is one phase's end-of-phase system state (only recorded
+// when Config.Trace is set).
+type PhaseStats = core.PhaseStats
+
+// DefaultParams returns the documented default protocol constants for
+// noise parameter ε.
+func DefaultParams(eps float64) Params { return core.DefaultParams(eps) }
+
+// NewNoiseMatrix validates rows (each non-negative, summing to 1) and
+// builds a custom noise matrix.
+func NewNoiseMatrix(rows [][]float64) (*NoiseMatrix, error) { return noise.New(rows) }
+
+// IdentityNoise returns the noiseless k-opinion channel.
+func IdentityNoise(k int) (*NoiseMatrix, error) { return noise.Identity(k) }
+
+// BinaryNoise returns the 2-opinion matrix of Feinerman–Haeupler–
+// Korman (Eq. 1 of the paper): a bit survives with probability 1/2+ε.
+func BinaryNoise(eps float64) (*NoiseMatrix, error) { return noise.FHKBinary(eps) }
+
+// UniformNoise returns the canonical k-valued noise matrix: diagonal
+// 1/k+ε, off-diagonal 1/k−ε/(k−1). It is (ε′,δ)-majority-preserving
+// for every δ and every ε′ below its bias contraction ε·k/(k−1).
+func UniformNoise(k int, eps float64) (*NoiseMatrix, error) { return noise.Uniform(k, eps) }
+
+// DominantCycleNoise returns the Section-4 counterexample: diagonally
+// dominant yet not majority-preserving (it leaks each opinion to its
+// cyclic successor and flips small majorities).
+func DominantCycleNoise(k int, eps float64) (*NoiseMatrix, error) {
+	return noise.DominantCycle(k, eps)
+}
+
+// ResetNoise returns a channel that resets corrupted opinions to
+// opinion 0 with probability rho.
+func ResetNoise(k int, rho float64) (*NoiseMatrix, error) { return noise.Reset(k, rho) }
+
+// Bias returns the Definition-1 bias of distribution c toward opinion
+// win: min over rivals i of c[win]−c[i].
+func Bias(c []float64, win int) float64 { return noise.Bias(c, win) }
+
+// Process selects the communication engine. The paper proves (Claim 1)
+// that the real push process O and the balls-into-bins process B yield
+// identically distributed phase outcomes, so ProcessB is a provably
+// faithful fast path: O costs O(rounds·n) per phase, B costs O(n·k).
+// ProcessP (Poissonization, Definition 4) is the analysis device of
+// Lemma 3 and is exposed for experimentation; it is an approximation,
+// not an exact coupling.
+type Process = model.Process
+
+// Engine choices.
+const (
+	// ProcessO simulates every push individually (the default).
+	ProcessO = model.ProcessO
+	// ProcessB bulk-simulates each phase via balls-into-bins.
+	ProcessB = model.ProcessB
+	// ProcessP draws independent Poisson message counts per node.
+	ProcessP = model.ProcessP
+)
+
+// Config configures a protocol run.
+type Config struct {
+	// N is the number of agents (≥ 2).
+	N int
+	// Noise is the channel matrix; its dimension fixes k.
+	Noise *NoiseMatrix
+	// Params are the protocol constants. The zero value selects
+	// DefaultParams with ε equal to the noise matrix's own contraction
+	// guess — prefer setting it explicitly via DefaultParams(eps).
+	Params Params
+	// Seed makes the run reproducible.
+	Seed uint64
+	// Trace records per-phase statistics into Result.Trace.
+	Trace bool
+	// Engine selects the communication process; the zero value is
+	// ProcessO, the exact per-message simulation.
+	Engine Process
+}
+
+func (c Config) validate() error {
+	if c.N < 2 {
+		return fmt.Errorf("noisyrumor: need N ≥ 2, got %d", c.N)
+	}
+	if c.Noise == nil {
+		return fmt.Errorf("noisyrumor: nil noise matrix")
+	}
+	return nil
+}
+
+func (c Config) params() Params {
+	if c.Params == (Params{}) {
+		// A zero Params means "defaults": derive ε from the matrix's
+		// worst-case kept bias at δ=1 when possible, falling back to
+		// the uniform-matrix contraction estimate.
+		eps := c.Noise.MinDiagonal() - 1.0/float64(c.Noise.K())
+		if eps <= 0 || eps > 1 {
+			eps = 0.5
+		}
+		return DefaultParams(eps)
+	}
+	return c.Params
+}
+
+// Run executes the full two-stage protocol from an arbitrary initial
+// opinion vector (length N; Undecided entries are silent agents) and
+// reports the outcome relative to the designated correct opinion.
+func Run(cfg Config, initial []Opinion, correct Opinion) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	eng, err := model.NewEngine(cfg.N, cfg.Noise, cfg.Engine, rng.New(cfg.Seed))
+	if err != nil {
+		return Result{}, err
+	}
+	p, err := core.New(eng, cfg.params())
+	if err != nil {
+		return Result{}, err
+	}
+	p.SetTrace(cfg.Trace)
+	return p.Run(initial, correct)
+}
+
+// RumorSpreading runs the noisy rumor-spreading problem (Theorem 1):
+// one source agent holds the correct opinion, everyone else is
+// undecided.
+func RumorSpreading(cfg Config, correct Opinion) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	initial, err := model.InitRumor(cfg.N, cfg.Noise.K(), correct)
+	if err != nil {
+		return Result{}, err
+	}
+	return Run(cfg, initial, correct)
+}
+
+// PluralityConsensus runs the noisy plurality-consensus problem
+// (Theorem 2): counts[i] agents initially hold opinion i, the
+// remaining N−Σcounts agents are undecided, and the plurality opinion
+// of counts is the correct outcome. It returns an error when counts
+// has no strict plurality.
+func PluralityConsensus(cfg Config, counts []int) (Result, error) {
+	if err := cfg.validate(); err != nil {
+		return Result{}, err
+	}
+	if len(counts) != cfg.Noise.K() {
+		return Result{}, fmt.Errorf("noisyrumor: %d opinion counts for a %d-opinion noise matrix",
+			len(counts), cfg.Noise.K())
+	}
+	initial, err := model.InitPlurality(cfg.N, counts)
+	if err != nil {
+		return Result{}, err
+	}
+	plurality, strict := model.Plurality(initial, cfg.Noise.K())
+	if !strict {
+		return Result{}, fmt.Errorf("noisyrumor: initial counts %v have no strict plurality", counts)
+	}
+	return Run(cfg, initial, plurality)
+}
+
+// NewSchedule exposes the deterministic phase structure the protocol
+// would use for n agents under the given parameters — useful for
+// budgeting rounds before running.
+func NewSchedule(n int, p Params) (Schedule, error) { return core.NewSchedule(n, p) }
