@@ -1,0 +1,46 @@
+# Development entry points. `make check` is the tier-1 gate CI runs.
+
+GO ?= go
+
+# Benchmarks that are fast enough for CI (one iteration each): the
+# E-suite regeneration benches at quick scale plus the engine-phase
+# micro-benches. The n=10⁵/10⁷ headline benches are excluded here and
+# run by `make bench-json`.
+QUICK_BENCH := 'BenchmarkE[0-9]+|BenchmarkPhase(Process|Batch(Process|.*LargeN))'
+
+# Headline perf-trajectory benches recorded in BENCH_<n>.json.
+HEADLINE_BENCH := 'BenchmarkRumorSpreading($$|Huge)|BenchmarkPhaseBatchHuge|BenchmarkAblationEngine'
+
+# Bump when recording a new perf-trajectory point.
+BENCH_N := 1
+
+.PHONY: build vet test race bench-quick bench-json check clean
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+bench-quick:
+	$(GO) test -run '^$$' -bench $(QUICK_BENCH) -benchtime 1x ./...
+
+# bench-json reruns the headline benchmarks at full size (several
+# minutes: it contains full n=10⁵ and n=10⁷ protocol executions) and
+# snapshots them into BENCH_$(BENCH_N).json.
+bench-json:
+	{ $(GO) test -run '^$$' -bench $(HEADLINE_BENCH) -benchtime 2x -timeout 60m . ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkPhaseBatchHuge' -benchtime 2x -timeout 60m ./internal/model ; } \
+	| tee /dev/stderr \
+	| $(GO) run ./cmd/benchjson -label BENCH_$(BENCH_N) > BENCH_$(BENCH_N).json
+
+check: build vet race bench-quick
+
+clean:
+	$(GO) clean ./...

@@ -1,0 +1,65 @@
+package noisyrumor
+
+import "testing"
+
+// TestRumorSpreadingBackends runs the headline problem on both
+// sampling backends through the public API: both must succeed from a
+// single source, and an unknown backend name must be rejected up
+// front.
+func TestRumorSpreadingBackends(t *testing.T) {
+	nm, err := UniformNoise(3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, backend := range Backends() {
+		cfg := Config{
+			N:       3000,
+			Noise:   nm,
+			Params:  DefaultParams(0.3),
+			Seed:    7,
+			Backend: backend,
+		}
+		res, err := RumorSpreading(cfg, 1)
+		if err != nil {
+			t.Fatalf("backend %s: %v", backend, err)
+		}
+		if !res.Correct {
+			t.Errorf("backend %s: did not converge to the correct opinion", backend)
+		}
+	}
+}
+
+// TestParamsBackendAloneKeepsDefaults: setting only Params.Backend
+// must not defeat the zero-Params defaults derivation.
+func TestParamsBackendAloneKeepsDefaults(t *testing.T) {
+	nm, err := UniformNoise(3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{N: 2000, Noise: nm, Seed: 3, Params: Params{Backend: "batch"}}
+	res, err := RumorSpreading(cfg, 0)
+	if err != nil {
+		t.Fatalf("Params{Backend} alone rejected: %v", err)
+	}
+	if !res.Consensus {
+		t.Fatal("no consensus under derived default params")
+	}
+}
+
+func TestUnknownBackendRejected(t *testing.T) {
+	nm, err := UniformNoise(2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{N: 100, Noise: nm, Params: DefaultParams(0.3), Backend: "warp"}
+	if _, err := RumorSpreading(cfg, 0); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+}
+
+func TestBackendsList(t *testing.T) {
+	names := Backends()
+	if len(names) != 2 || names[0] != "loop" || names[1] != "batch" {
+		t.Fatalf("Backends() = %v", names)
+	}
+}

@@ -108,6 +108,52 @@ func BenchmarkE18JitterRobustness(b *testing.B) { benchExperiment(b, "E18") }
 // table (beyond-paper deliverable).
 func BenchmarkE19Adversary(b *testing.B) { benchExperiment(b, "E19") }
 
+// benchRumor runs one full rumor-spreading execution per iteration at
+// population n on the named sampling backend.
+func benchRumor(b *testing.B, n int, backend string) {
+	b.Helper()
+	nm, err := UniformNoise(3, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := Config{N: n, Noise: nm, Params: DefaultParams(0.25), Backend: backend}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := RumorSpreading(cfg, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !res.Consensus {
+			b.Fatal("no consensus")
+		}
+	}
+}
+
+// BenchmarkRumorSpreading is the perf-trajectory headline (see
+// BENCH_1.json): the full protocol at n = 10⁵, k = 3, ε = 0.25 (the
+// ablation benchmarks' ε) on each backend. The loop backend's cost is
+// linear in the number of pushed messages — Θ(n·rounds) with rounds
+// ∝ 1/ε² — while the batch backend samples whole phases at a cost
+// independent of the round count, so its advantage grows as 1/ε².
+func BenchmarkRumorSpreading(b *testing.B) {
+	for _, backend := range Backends() {
+		b.Run("n=1e5/backend="+backend, func(b *testing.B) {
+			benchRumor(b, 100_000, backend)
+		})
+	}
+}
+
+// BenchmarkRumorSpreadingHuge runs the regime where the paper's
+// w.h.p. guarantees bite. Per-message simulation is out of reach here;
+// the batch backend completes a full n = 10⁷ protocol execution in
+// seconds.
+func BenchmarkRumorSpreadingHuge(b *testing.B) {
+	b.Run("n=1e7/backend=batch", func(b *testing.B) {
+		benchRumor(b, 10_000_000, "batch")
+	})
+}
+
 // BenchmarkRumorSpreadingEndToEnd measures one full protocol execution
 // through the public API (n=2000, k=3, ε=0.3) — the library's
 // headline operation.

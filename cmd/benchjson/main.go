@@ -1,0 +1,153 @@
+// Command benchjson converts `go test -bench` output (read from
+// stdin) into the repository's perf-trajectory JSON format, so each
+// PR can check in a BENCH_<n>.json snapshot that later PRs diff
+// against.
+//
+//	go test -run '^$' -bench . -benchtime 2x . ./internal/model | \
+//	    go run ./cmd/benchjson -label BENCH_1 > BENCH_1.json
+//
+// When both RumorSpreading backend benchmarks are present, the tool
+// also emits the batch-over-loop speedup, the headline number of the
+// sampling-backend engine.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// Benchmark is one parsed benchmark result line.
+type Benchmark struct {
+	Name       string             `json:"name"`
+	Iterations int64              `json:"iterations"`
+	NsPerOp    float64            `json:"ns_per_op"`
+	Extra      map[string]float64 `json:"extra,omitempty"`
+}
+
+// Report is the BENCH_<n>.json schema.
+type Report struct {
+	Schema     string             `json:"schema"`
+	Label      string             `json:"label"`
+	Generated  string             `json:"generated,omitempty"`
+	Goos       string             `json:"goos,omitempty"`
+	Goarch     string             `json:"goarch,omitempty"`
+	CPU        string             `json:"cpu,omitempty"`
+	Benchmarks []Benchmark        `json:"benchmarks"`
+	Derived    map[string]float64 `json:"derived,omitempty"`
+}
+
+func main() {
+	if err := run(os.Args[1:], os.Stdin, os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, in io.Reader, out io.Writer) error {
+	fs := flag.NewFlagSet("benchjson", flag.ContinueOnError)
+	label := fs.String("label", "BENCH", "snapshot label (e.g. BENCH_1)")
+	stamp := fs.Bool("timestamp", true, "include the generation time")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	rep, err := parse(in)
+	if err != nil {
+		return err
+	}
+	rep.Label = *label
+	if *stamp {
+		rep.Generated = time.Now().UTC().Format(time.RFC3339)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark lines found on stdin")
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
+}
+
+// cpuSuffix strips the trailing -GOMAXPROCS that `go test` appends to
+// benchmark names on multi-proc runs.
+var cpuSuffix = regexp.MustCompile(`-\d+$`)
+
+func parse(in io.Reader) (*Report, error) {
+	rep := &Report{Schema: "noisyrumor-bench/v1"}
+	sc := bufio.NewScanner(in)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "goos:"):
+			rep.Goos = strings.TrimSpace(strings.TrimPrefix(line, "goos:"))
+			continue
+		case strings.HasPrefix(line, "goarch:"):
+			rep.Goarch = strings.TrimSpace(strings.TrimPrefix(line, "goarch:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			rep.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 4 || fields[3] != "ns/op" {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		ns, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil {
+			continue
+		}
+		b := Benchmark{
+			Name:       cpuSuffix.ReplaceAllString(fields[0], ""),
+			Iterations: iters,
+			NsPerOp:    ns,
+		}
+		// Remaining fields come in "<value> <unit>" pairs
+		// (MB/s, B/op, allocs/op, custom units).
+		for i := 4; i+1 < len(fields); i += 2 {
+			v, err := strconv.ParseFloat(fields[i], 64)
+			if err != nil {
+				continue
+			}
+			if b.Extra == nil {
+				b.Extra = map[string]float64{}
+			}
+			b.Extra[fields[i+1]] = v
+		}
+		rep.Benchmarks = append(rep.Benchmarks, b)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	derive(rep)
+	return rep, nil
+}
+
+// derive computes cross-benchmark ratios of interest.
+func derive(rep *Report) {
+	var loop, batch float64
+	for _, b := range rep.Benchmarks {
+		switch {
+		case strings.HasSuffix(b.Name, "backend=loop") && strings.Contains(b.Name, "RumorSpreading/"):
+			loop = b.NsPerOp
+		case strings.HasSuffix(b.Name, "backend=batch") && strings.Contains(b.Name, "RumorSpreading/"):
+			batch = b.NsPerOp
+		}
+	}
+	if loop > 0 && batch > 0 {
+		rep.Derived = map[string]float64{
+			"rumor_spreading_n1e5_speedup_batch_over_loop": loop / batch,
+		}
+	}
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: github.com/gossipkit/noisyrumor
+cpu: Intel(R) Xeon(R) Processor @ 2.10GHz
+BenchmarkRumorSpreading/n=1e5/backend=loop         	       2	4767817130 ns/op	 2409712 B/op	      35 allocs/op
+BenchmarkRumorSpreading/n=1e5/backend=batch-8      	       2	 312101022 ns/op	 2410456 B/op	      66 allocs/op
+BenchmarkPhaseBatchHuge 	       1	3023176979 ns/op	 377.09 MB/s	     128 B/op	       4 allocs/op
+PASS
+ok  	github.com/gossipkit/noisyrumor	141.389s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" {
+		t.Fatalf("platform: %q/%q", rep.Goos, rep.Goarch)
+	}
+	if !strings.Contains(rep.CPU, "Xeon") {
+		t.Fatalf("cpu: %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks", len(rep.Benchmarks))
+	}
+	b := rep.Benchmarks[1]
+	if b.Name != "BenchmarkRumorSpreading/n=1e5/backend=batch" {
+		t.Fatalf("cpu suffix not stripped: %q", b.Name)
+	}
+	if b.Iterations != 2 || b.NsPerOp != 312101022 {
+		t.Fatalf("bench fields: %+v", b)
+	}
+	if b.Extra["allocs/op"] != 66 {
+		t.Fatalf("extra: %+v", b.Extra)
+	}
+	if rep.Benchmarks[2].Extra["MB/s"] != 377.09 {
+		t.Fatalf("MB/s: %+v", rep.Benchmarks[2].Extra)
+	}
+	speedup := rep.Derived["rumor_spreading_n1e5_speedup_batch_over_loop"]
+	if speedup < 15.2 || speedup > 15.4 {
+		t.Fatalf("speedup = %v", speedup)
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	var out bytes.Buffer
+	if err := run([]string{"-label", "BENCH_TEST", "-timestamp=false"},
+		strings.NewReader(sample), &out); err != nil {
+		t.Fatal(err)
+	}
+	var rep Report
+	if err := json.Unmarshal(out.Bytes(), &rep); err != nil {
+		t.Fatal(err)
+	}
+	if rep.Label != "BENCH_TEST" || rep.Schema != "noisyrumor-bench/v1" {
+		t.Fatalf("report header: %+v", rep)
+	}
+	if rep.Generated != "" {
+		t.Fatal("timestamp=false must omit Generated")
+	}
+}
+
+func TestRunNoBenchmarks(t *testing.T) {
+	var out bytes.Buffer
+	if err := run(nil, strings.NewReader("nothing here\n"), &out); err == nil {
+		t.Fatal("empty input accepted")
+	}
+}

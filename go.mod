@@ -1,0 +1,3 @@
+module github.com/gossipkit/noisyrumor
+
+go 1.24

@@ -25,6 +25,8 @@ package core
 import (
 	"fmt"
 	"math"
+
+	"github.com/gossipkit/noisyrumor/internal/model"
 )
 
 // Params are the protocol constants of Section 3.1. The paper fixes
@@ -56,6 +58,13 @@ type Params struct {
 	// lets the amplification margin be tuned without lengthening every
 	// phase. It does not change the O(log n/ε²) total.
 	Stage2ExtraPhases int
+	// Backend selects the model sampling backend by name ("loop" or
+	// "batch"; see model.BackendByName). The empty string leaves the
+	// engine's backend untouched, which defaults to the per-message
+	// loop reference. Backends are statistically equivalent; "batch"
+	// samples each phase's deliveries in aggregate and is the fast
+	// path for large n.
+	Backend string
 }
 
 // DefaultParams returns the documented default constants for a given
@@ -93,6 +102,9 @@ func (p Params) Validate() error {
 	}
 	if p.Stage2ExtraPhases < 0 {
 		return fmt.Errorf("core: Stage2ExtraPhases must be ≥ 0, got %d", p.Stage2ExtraPhases)
+	}
+	if _, err := model.BackendByName(p.Backend); err != nil {
+		return err
 	}
 	return nil
 }

@@ -78,6 +78,15 @@ func New(engine *model.Engine, params Params) (*Protocol, error) {
 	if err != nil {
 		return nil, err
 	}
+	// A named backend in Params overrides whatever the engine was
+	// built with; the empty string leaves the engine's choice alone.
+	if params.Backend != "" {
+		b, err := model.BackendByName(params.Backend)
+		if err != nil {
+			return nil, err
+		}
+		engine.SetBackend(b)
+	}
 	return &Protocol{
 		engine:    engine,
 		params:    params,

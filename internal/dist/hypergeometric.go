@@ -1,0 +1,105 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// logFactTableSize bounds the precomputed ln n! table. Population
+// sizes on the sampling hot path (per-node phase counts) are far below
+// this; larger arguments fall back to Lgamma.
+const logFactTableSize = 1 << 14
+
+var logFactTable = func() []float64 {
+	t := make([]float64, logFactTableSize)
+	for i := 2; i < logFactTableSize; i++ {
+		t[i] = t[i-1] + math.Log(float64(i))
+	}
+	return t
+}()
+
+// logFactorial returns ln n!.
+func logFactorial(n int) float64 {
+	if n < 0 {
+		panic(fmt.Sprintf("dist: logFactorial(%d)", n))
+	}
+	if n < logFactTableSize {
+		return logFactTable[n]
+	}
+	lg, _ := math.Lgamma(float64(n) + 1)
+	return lg
+}
+
+// SampleHypergeometric draws the number of marked items in a uniform
+// random m-subset of an N-item population with K marked items —
+// Hypergeometric(N, K, m). The sampler is exact: mode-centered
+// inversion, expanding outward from the mode, so the expected number
+// of PMF evaluations is O(standard deviation) and each evaluation is a
+// constant-work recurrence. One uniform variate per draw.
+func SampleHypergeometric(r *rng.Rand, N, K, m int) int {
+	if N < 0 || K < 0 || K > N || m < 0 || m > N {
+		panic(fmt.Sprintf("dist: SampleHypergeometric(N=%d, K=%d, m=%d)", N, K, m))
+	}
+	lo := m - (N - K)
+	if lo < 0 {
+		lo = 0
+	}
+	hi := m
+	if K < hi {
+		hi = K
+	}
+	if lo == hi {
+		return lo
+	}
+	// Mode of the hypergeometric.
+	mode := (m + 1) * (K + 1) / (N + 2)
+	if mode < lo {
+		mode = lo
+	}
+	if mode > hi {
+		mode = hi
+	}
+	// pmf(mode) = C(K,mode)·C(N−K,m−mode)/C(N,m) via the ln n! table.
+	pMode := math.Exp(
+		logFactorial(K) - logFactorial(mode) - logFactorial(K-mode) +
+			logFactorial(N-K) - logFactorial(m-mode) - logFactorial(N-K-m+mode) -
+			(logFactorial(N) - logFactorial(m) - logFactorial(N-m)))
+	u := r.Float64()
+	cum := pMode
+	if u < cum {
+		return mode
+	}
+	// Zig-zag outward, extending whichever frontier still has support.
+	xUp, pUp := mode, pMode
+	xDn, pDn := mode, pMode
+	for {
+		stepped := false
+		if xUp < hi {
+			// p(x+1)/p(x) = (K−x)(m−x) / ((x+1)(N−K−m+x+1))
+			pUp *= float64((K-xUp)*(m-xUp)) / float64((xUp+1)*(N-K-m+xUp+1))
+			xUp++
+			cum += pUp
+			if u < cum {
+				return xUp
+			}
+			stepped = true
+		}
+		if xDn > lo {
+			// p(x−1)/p(x) = x(N−K−m+x) / ((K−x+1)(m−x+1))
+			pDn *= float64(xDn*(N-K-m+xDn)) / float64((K-xDn+1)*(m-xDn+1))
+			xDn--
+			cum += pDn
+			if u < cum {
+				return xDn
+			}
+			stepped = true
+		}
+		if !stepped {
+			// The whole support is exhausted; u landed in the float
+			// round-off residue. The mode is the safest return.
+			return mode
+		}
+	}
+}

@@ -1,0 +1,284 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// smallMeanThreshold separates the O(mean) inversion samplers (fastest
+// for small means) from the O(1) transformed-rejection samplers.
+const smallMeanThreshold = 10
+
+// SampleBinomial draws Binomial(n, p) exactly. For n·min(p,1−p) below
+// smallMeanThreshold it uses BINV sequential inversion (Kachitvichyanukul
+// & Schmeiser); above, Hörmann's BTRS transformed rejection, which is
+// O(1) per draw regardless of n·p. Both are exact samplers.
+func SampleBinomial(r *rng.Rand, n int, p float64) int {
+	if n < 0 {
+		panic(fmt.Sprintf("dist: SampleBinomial with n=%d", n))
+	}
+	if math.IsNaN(p) {
+		panic("dist: SampleBinomial with NaN p")
+	}
+	if n == 0 || p <= 0 {
+		return 0
+	}
+	if p >= 1 {
+		return n
+	}
+	// Sample with success probability ≤ 1/2 and flip back, keeping the
+	// inversion and rejection constants well-conditioned.
+	q := p
+	flip := p > 0.5
+	if flip {
+		q = 1 - p
+	}
+	var x int
+	if float64(n)*q < smallMeanThreshold {
+		x = binomialBINV(r, n, q)
+	} else {
+		x = binomialBTRS(r, n, q)
+	}
+	if flip {
+		x = n - x
+	}
+	return x
+}
+
+// binomialBINV is sequential CDF inversion, expected O(n·p) work.
+// Requires p ≤ 1/2 and n·p < smallMeanThreshold.
+func binomialBINV(r *rng.Rand, n int, p float64) int {
+	s := p / (1 - p)
+	a := float64(n+1) * s
+	pmf0 := math.Exp(float64(n) * math.Log1p(-p)) // (1−p)^n, no underflow at n·p < 10
+	for {
+		x := 0
+		u := r.Float64()
+		cur := pmf0
+		ok := true
+		for u > cur {
+			u -= cur
+			x++
+			if x > n {
+				// Accumulated float error pushed us past the support;
+				// restart with a fresh uniform.
+				ok = false
+				break
+			}
+			cur *= a/float64(x) - s
+		}
+		if ok {
+			return x
+		}
+	}
+}
+
+// stirlingTail returns the Stirling-series remainder
+// ln k! − [k ln k − k + ½ln(2πk)], tabulated for k ≤ 9 and otherwise
+// by the asymptotic expansion. Used by the BTRS acceptance test.
+func stirlingTail(k float64) float64 {
+	if k <= 9 {
+		return stirlingTailTable[int(k)]
+	}
+	kp1sq := (k + 1) * (k + 1)
+	return (1.0/12 - (1.0/360-1.0/1260/kp1sq)/kp1sq) / (k + 1)
+}
+
+var stirlingTailTable = [10]float64{
+	0.0810614667953272, 0.0413406959554092,
+	0.0276779256849983, 0.02079067210376509,
+	0.0166446911898211, 0.0138761288230707,
+	0.0118967099458917, 0.0104112652619720,
+	0.00925546218271273, 0.00833056343336287,
+}
+
+// binomialBTRS is Hörmann's transformed-rejection binomial sampler
+// (algorithm BTRS, 1993): O(1) expected uniforms per draw. Requires
+// p ≤ 1/2 and n·p ≥ smallMeanThreshold.
+func binomialBTRS(r *rng.Rand, n int, p float64) int {
+	nf := float64(n)
+	spq := math.Sqrt(nf * p * (1 - p))
+	b := 1.15 + 2.53*spq
+	a := -0.0873 + 0.0248*b + 0.01*p
+	c := nf*p + 0.5
+	vr := 0.92 - 4.2/b
+	odds := p / (1 - p)
+	alpha := (2.83 + 5.1/b) * spq
+	m := math.Floor((nf + 1) * p)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		kf := math.Floor((2*a/us+b)*u + c)
+		if kf < 0 || kf > nf {
+			continue
+		}
+		// Squeeze: the dominating density's central region accepts
+		// without evaluating the pmf.
+		if us >= 0.07 && v <= vr {
+			return int(kf)
+		}
+		lv := math.Log(v * alpha / (a/(us*us) + b))
+		ub := (m+0.5)*math.Log((m+1)/(odds*(nf-m+1))) +
+			(nf+1)*math.Log((nf-m+1)/(nf-kf+1)) +
+			(kf+0.5)*math.Log(odds*(nf-kf+1)/(kf+1)) +
+			stirlingTail(m) + stirlingTail(nf-m) -
+			stirlingTail(kf) - stirlingTail(nf-kf)
+		if lv <= ub {
+			return int(kf)
+		}
+	}
+}
+
+// SamplePoisson draws Poisson(mu) exactly: Knuth's product-of-uniforms
+// inversion for small mu, Hörmann's PTRS transformed rejection (O(1)
+// per draw) for large mu.
+func SamplePoisson(r *rng.Rand, mu float64) int {
+	if mu < 0 || math.IsNaN(mu) || math.IsInf(mu, 0) {
+		panic(fmt.Sprintf("dist: SamplePoisson with mu=%v", mu))
+	}
+	if mu == 0 {
+		return 0
+	}
+	if mu < smallMeanThreshold {
+		limit := math.Exp(-mu)
+		k := 0
+		prod := r.Float64()
+		for prod > limit {
+			k++
+			prod *= r.Float64()
+		}
+		return k
+	}
+	return poissonPTRS(r, mu)
+}
+
+// poissonPTRS is Hörmann's transformed-rejection Poisson sampler
+// (algorithm PTRS, 1993). Requires mu ≥ 10.
+func poissonPTRS(r *rng.Rand, mu float64) int {
+	logMu := math.Log(mu)
+	b := 0.931 + 2.53*math.Sqrt(mu)
+	a := -0.059 + 0.02483*b
+	invAlpha := 1.1239 + 1.1328/(b-3.4)
+	vr := 0.9277 - 3.6224/(b-2)
+	for {
+		u := r.Float64() - 0.5
+		v := r.Float64()
+		us := 0.5 - math.Abs(u)
+		kf := math.Floor((2*a/us+b)*u + mu + 0.43)
+		if us >= 0.07 && v <= vr {
+			return int(kf)
+		}
+		if kf < 0 || (us < 0.013 && v > us) {
+			continue
+		}
+		lg, _ := math.Lgamma(kf + 1)
+		if math.Log(v*invAlpha/(a/(us*us)+b)) <= kf*logMu-mu-lg {
+			return int(kf)
+		}
+	}
+}
+
+// SampleMultinomial draws Multinomial(n, probs) into out (len(out) ==
+// len(probs)) by sequential conditional binomials, O(k) binomial draws
+// per call. probs must be non-negative; they are normalized by their
+// sum.
+func SampleMultinomial(r *rng.Rand, n int, probs []float64, out []int) {
+	k := len(probs)
+	if len(out) != k {
+		panic(fmt.Sprintf("dist: SampleMultinomial with %d probs, %d outputs", k, len(out)))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("dist: SampleMultinomial with n=%d", n))
+	}
+	total := 0.0
+	for i, p := range probs {
+		if p < 0 || math.IsNaN(p) {
+			panic(fmt.Sprintf("dist: SampleMultinomial with probs[%d]=%v", i, p))
+		}
+		total += p
+	}
+	if total <= 0 {
+		panic("dist: SampleMultinomial with zero total probability")
+	}
+	remaining := n
+	remMass := total
+	for i := 0; i < k; i++ {
+		if remaining == 0 || remMass <= 0 {
+			out[i] = 0
+			continue
+		}
+		if i == k-1 {
+			out[i] = remaining
+			remaining = 0
+			continue
+		}
+		p := probs[i] / remMass
+		if p > 1 {
+			p = 1
+		}
+		c := SampleBinomial(r, remaining, p)
+		out[i] = c
+		remaining -= c
+		remMass -= probs[i]
+	}
+	// Float error can leave remMass ≈ 0 with remaining > 0 before the
+	// last cell; dump any residue into the final category, which by
+	// construction is the only one left with mass.
+	if remaining > 0 {
+		out[k-1] += remaining
+	}
+}
+
+// SampleMultisetWithoutReplacement draws m items uniformly without
+// replacement from a multiset with counts[i] copies of category i and
+// returns per-category sampled counts in buf (resized to len(counts)) —
+// a multivariate hypergeometric draw, taken as k−1 sequential
+// conditional hypergeometric draws (one uniform variate per category,
+// rather than one per sampled item — this is the protocol's Stage-2
+// inner loop). If m exceeds the multiset size the whole multiset is
+// returned.
+func SampleMultisetWithoutReplacement(r *rng.Rand, counts []int32, m int, buf []int) []int {
+	k := len(counts)
+	if cap(buf) < k {
+		buf = make([]int, k)
+	}
+	buf = buf[:k]
+	total := 0
+	for i, c := range counts {
+		if c < 0 {
+			panic(fmt.Sprintf("dist: SampleMultisetWithoutReplacement with counts[%d]=%d", i, c))
+		}
+		buf[i] = 0
+		total += int(c)
+	}
+	if m >= total {
+		for i, c := range counts {
+			buf[i] = int(c)
+		}
+		return buf
+	}
+	rem := total
+	mRem := m
+	for i := 0; i < k; i++ {
+		if mRem == 0 {
+			buf[i] = 0
+			continue
+		}
+		if i == k-1 {
+			// Everything left is drawn from the last category (the
+			// conditional support guarantees mRem ≤ counts[k−1] here).
+			buf[i] = mRem
+			mRem = 0
+			continue
+		}
+		ki := int(counts[i])
+		x := SampleHypergeometric(r, rem, ki, mRem)
+		buf[i] = x
+		mRem -= x
+		rem -= ki
+	}
+	return buf
+}

@@ -1,0 +1,230 @@
+package model
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/gossipkit/noisyrumor/internal/dist"
+)
+
+// Backend is a sampling strategy for one phase of the push model: how
+// the engine turns "these nodes push these opinions for `rounds`
+// rounds" into per-node delivery counts. Both shipped backends draw
+// from exactly the same phase distribution for every process (O, B
+// and P); they differ only in cost and in how they consume the random
+// stream:
+//
+//   - LoopBackend simulates process O message by message — O(n·rounds)
+//     per phase — and is the trusted reference.
+//   - BatchBackend samples each phase's delivery counts in aggregate —
+//     O(n·k + messages-capped-at-n) per phase, independent of the
+//     number of rounds — and is the fast path for large populations.
+//
+// The interface is sealed (the runPhase method is unexported): the
+// engine's buffers are an implementation detail of this package.
+type Backend interface {
+	// String returns the backend's flag-friendly name.
+	String() string
+	// runPhase fills e.counts/e.total for one phase and returns the
+	// number of messages pushed.
+	runPhase(e *Engine, ops []Opinion, rounds int) int
+}
+
+// Backends lists the available backends in flag/documentation order.
+func Backends() []Backend { return []Backend{LoopBackend{}, BatchBackend{}} }
+
+// BackendNames lists the accepted -backend flag values.
+func BackendNames() []string {
+	names := make([]string, 0, len(Backends()))
+	for _, b := range Backends() {
+		names = append(names, b.String())
+	}
+	return names
+}
+
+// BackendByName resolves a backend by its flag name. The empty string
+// selects the default LoopBackend.
+func BackendByName(name string) (Backend, error) {
+	switch strings.ToLower(name) {
+	case "", "loop":
+		return LoopBackend{}, nil
+	case "batch":
+		return BatchBackend{}, nil
+	default:
+		return nil, fmt.Errorf("model: unknown backend %q (have %s)",
+			name, strings.Join(BackendNames(), ", "))
+	}
+}
+
+// LoopBackend is the per-message reference implementation. For
+// process O it simulates every push individually: an independent noise
+// perturbation and an independent uniform target per message. For
+// processes B and P it runs the per-bin definitional samplers
+// (Definitions 3 and 4 of the paper) one bin at a time.
+type LoopBackend struct{}
+
+// String names the backend for flags and tables.
+func (LoopBackend) String() string { return "loop" }
+
+func (LoopBackend) runPhase(e *Engine, ops []Opinion, rounds int) int {
+	switch e.proc {
+	case ProcessO:
+		return loopPhaseO(e, ops, rounds)
+	case ProcessB:
+		return loopPhaseB(e, ops, rounds)
+	default:
+		return loopPhaseP(e, ops, rounds)
+	}
+}
+
+// loopPhaseO is the real push model: per message, an independent noise
+// perturbation and an independent uniform target.
+func loopPhaseO(e *Engine, ops []Opinion, rounds int) int {
+	sent := 0
+	un := uint64(e.n)
+	for round := 0; round < rounds; round++ {
+		for _, op := range ops {
+			if op == Undecided {
+				continue
+			}
+			sent++
+			recv := int(op)
+			if e.noisy {
+				recv = e.tables[op].Sample(e.r)
+			}
+			target := int(e.r.Uint64n(un))
+			e.counts[target*e.k+recv]++
+			e.total[target]++
+		}
+	}
+	return sent
+}
+
+// loopPhaseB implements Definition 3: bulk re-color, then throw each
+// color's balls uniformly into the n bins. Throwing g balls uniformly
+// into n bins yields multinomial per-bin counts, which are drawn with
+// sequential conditional binomials in O(n) per color instead of O(g)
+// ball-by-ball.
+func loopPhaseB(e *Engine, ops []Opinion, rounds int) int {
+	sent := e.phaseSent(ops, rounds)
+	e.applyNoiseBulk()
+	for j, g := range e.recvBuf {
+		scatterDense(e, j, g)
+	}
+	return sent
+}
+
+// loopPhaseP implements Definition 4: every node receives an
+// independent Poisson(h_j/n) number of opinion-j messages, with h_j
+// the noisy multiset counts.
+func loopPhaseP(e *Engine, ops []Opinion, rounds int) int {
+	sent := e.phaseSent(ops, rounds)
+	e.applyNoiseBulk()
+	nf := float64(e.n)
+	for j, g := range e.recvBuf {
+		if g == 0 {
+			continue
+		}
+		mu := float64(g) / nf
+		for u := 0; u < e.n; u++ {
+			c := dist.SamplePoisson(e.r, mu)
+			if c > 0 {
+				e.counts[u*e.k+j] += int32(c)
+				e.total[u] += int32(c)
+			}
+		}
+	}
+	return sent
+}
+
+// BatchBackend samples each phase's delivery counts directly, without
+// touching individual messages. All three processes factor through the
+// same two aggregate steps:
+//
+//  1. Noise: the phase's sent multiset (h_0·rounds, …, h_{k−1}·rounds)
+//     is re-colored with one k-way multinomial split per opinion —
+//     exactly the joint law of perturbing every message independently
+//     through its noise-matrix row.
+//  2. Delivery: each color's aggregate count is scattered uniformly
+//     over the n nodes as one multinomial occupancy draw (for O and B;
+//     Claim 1 of the paper is the statement that O's per-message
+//     targets produce exactly this law), or, for P, the color's total
+//     is first drawn as Poisson(g_j) and then scattered — the standard
+//     Poissonization identity (n i.i.d. Poisson(g/n) counts ≡ a
+//     Poisson(g) total split uniformly).
+//
+// Every step draws from the exact phase distribution of the
+// corresponding process; no approximation is involved. Cost per phase
+// is O(k²) for noise plus, per color, min(g_j, O(n)) for delivery —
+// independent of the number of rounds, which is what makes n = 10⁷
+// populations tractable.
+type BatchBackend struct{}
+
+// String names the backend for flags and tables.
+func (BatchBackend) String() string { return "batch" }
+
+func (BatchBackend) runPhase(e *Engine, ops []Opinion, rounds int) int {
+	sent := e.phaseSent(ops, rounds)
+	e.applyNoiseBulk()
+	switch e.proc {
+	case ProcessO, ProcessB:
+		for j, g := range e.recvBuf {
+			scatterUniform(e, j, g)
+		}
+	default: // ProcessP
+		for j, g := range e.recvBuf {
+			if g == 0 {
+				continue
+			}
+			scatterUniform(e, j, dist.SamplePoisson(e.r, float64(g)))
+		}
+	}
+	return sent
+}
+
+// scatterUniform distributes g opinion-j messages uniformly at random
+// over the n nodes — one multinomial(g; 1/n, …, 1/n) occupancy draw.
+// Two exact strategies, chosen by density:
+//
+//   - sparse (g < n/2): throw each ball individually, O(g);
+//   - dense: sequential conditional binomials over the bins, O(n)
+//     draws each of O(1) expected cost (dist.SampleBinomial switches
+//     to BTRS rejection once the local mean is large), so long phases
+//     cost the same as short ones.
+func scatterUniform(e *Engine, j, g int) {
+	if g < e.n/2 {
+		if g <= 0 {
+			return
+		}
+		un := uint64(e.n)
+		for i := 0; i < g; i++ {
+			t := int(e.r.Uint64n(un))
+			e.counts[t*e.k+j]++
+			e.total[t]++
+		}
+		return
+	}
+	scatterDense(e, j, g)
+}
+
+// scatterDense draws the multinomial occupancy of g opinion-j balls
+// over the n bins with sequential conditional binomials — Definition
+// 3's balls-into-bins step, shared by the loop backend's process B and
+// the batch backend's dense regime.
+func scatterDense(e *Engine, j, g int) {
+	remaining := g
+	n, k := e.n, e.k
+	for u := 0; u < n-1 && remaining > 0; u++ {
+		c := dist.SampleBinomial(e.r, remaining, 1/float64(n-u))
+		if c > 0 {
+			e.counts[u*k+j] += int32(c)
+			e.total[u] += int32(c)
+			remaining -= c
+		}
+	}
+	if remaining > 0 {
+		u := n - 1
+		e.counts[u*k+j] += int32(remaining)
+		e.total[u] += int32(remaining)
+	}
+}

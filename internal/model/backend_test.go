@@ -1,0 +1,246 @@
+package model
+
+import (
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/dist"
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// nonUniformMatrix is an asymmetric row-stochastic matrix with three
+// distinct rows, so the aggregate noise split actually exercises
+// per-row multinomials.
+func nonUniformMatrix(t *testing.T) *noise.Matrix {
+	t.Helper()
+	nm, err := noise.New([][]float64{
+		{0.7, 0.2, 0.1},
+		{0.1, 0.8, 0.1},
+		{0.3, 0.3, 0.4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return nm
+}
+
+// backendPhaseHistograms runs one phase and histograms per-node totals
+// and per-node opinion-0 counts. pushers < n nodes hold opinions (the
+// rest are Undecided), cycling through the k opinions.
+func backendPhaseHistograms(t *testing.T, b Backend, proc Process, nm *noise.Matrix,
+	seed uint64, n, pushers, rounds, maxBin int) (totals, op0 []int) {
+
+	t.Helper()
+	e, err := NewEngineWithBackend(n, nm, proc, rng.New(seed), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := nm.K()
+	ops := make([]Opinion, n)
+	for i := range ops {
+		if i < pushers {
+			ops[i] = Opinion(i % k)
+		} else {
+			ops[i] = Undecided
+		}
+	}
+	res, err := e.RunPhase(ops, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	totals = make([]int, maxBin+1)
+	op0 = make([]int, maxBin+1)
+	for u := 0; u < n; u++ {
+		tb := int(res.Total[u])
+		if tb > maxBin {
+			tb = maxBin
+		}
+		totals[tb]++
+		ob := int(res.Counts[u*k+0])
+		if ob > maxBin {
+			ob = maxBin
+		}
+		op0[ob]++
+	}
+	return totals, op0
+}
+
+// TestBackendEquivalence is the batch-backend contract: for every
+// process and noise matrix, the per-node delivery distributions of
+// LoopBackend and BatchBackend must be statistically indistinguishable
+// (they are provably identical in law; the chi-square test catches
+// implementation bugs).
+func TestBackendEquivalence(t *testing.T) {
+	uniform, err := noise.Uniform(3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrices := []struct {
+		name string
+		nm   *noise.Matrix
+	}{
+		{"uniform", uniform},
+		{"nonuniform", nonUniformMatrix(t)},
+	}
+	regimes := []struct {
+		name              string
+		n, pushers, round int
+	}{
+		// dense: g ≈ 8·(2n/3) ≫ n/2 drives the conditional-binomial path
+		{"dense", 4000, 2666, 8},
+		// sparse: g = 150 < n/2 drives the ball-throwing path
+		{"sparse", 4000, 150, 1},
+	}
+	const maxBin = 30
+	seed := uint64(1000)
+	for _, m := range matrices {
+		for _, proc := range []Process{ProcessO, ProcessB, ProcessP} {
+			for _, reg := range regimes {
+				seed += 17
+				tLoop, oLoop := backendPhaseHistograms(t, LoopBackend{}, proc, m.nm,
+					seed, reg.n, reg.pushers, reg.round, maxBin)
+				tBatch, oBatch := backendPhaseHistograms(t, BatchBackend{}, proc, m.nm,
+					seed+1, reg.n, reg.pushers, reg.round, maxBin)
+				rt, err := dist.ChiSquareTwoSample(tLoop, tBatch, 5)
+				if err != nil {
+					t.Fatalf("%s/%v/%s totals: %v", m.name, proc, reg.name, err)
+				}
+				if rt.PValue < 1e-5 {
+					t.Errorf("%s/%v/%s: totals distinguishable, X²=%v df=%d p=%v",
+						m.name, proc, reg.name, rt.Statistic, rt.DF, rt.PValue)
+				}
+				ro, err := dist.ChiSquareTwoSample(oLoop, oBatch, 5)
+				if err != nil {
+					t.Fatalf("%s/%v/%s op0: %v", m.name, proc, reg.name, err)
+				}
+				if ro.PValue < 1e-5 {
+					t.Errorf("%s/%v/%s: opinion-0 counts distinguishable, X²=%v df=%d p=%v",
+						m.name, proc, reg.name, ro.Statistic, ro.DF, ro.PValue)
+				}
+			}
+		}
+	}
+}
+
+// TestBatchConservation mirrors TestProcessOConservation for the batch
+// backend: under O and B every pushed message is delivered exactly
+// once, in both the sparse and dense scatter regimes.
+func TestBatchConservation(t *testing.T) {
+	nm, err := noise.Uniform(3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, proc := range []Process{ProcessO, ProcessB} {
+		for _, rounds := range []int{1, 9} {
+			e, err := NewEngineWithBackend(300, nm, proc, rng.New(99), BatchBackend{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops := make([]Opinion, 300)
+			for i := range ops {
+				if i%3 == 0 {
+					ops[i] = Undecided
+				} else {
+					ops[i] = Opinion(i % 3)
+				}
+			}
+			res, err := e.RunPhase(ops, rounds)
+			if err != nil {
+				t.Fatal(err)
+			}
+			delivered := 0
+			for _, c := range res.Counts {
+				if c < 0 {
+					t.Fatalf("%v: negative count", proc)
+				}
+				delivered += int(c)
+			}
+			if delivered != res.Sent {
+				t.Fatalf("%v rounds=%d: delivered %d != sent %d", proc, rounds, delivered, res.Sent)
+			}
+			totalSum := 0
+			for _, v := range res.Total {
+				totalSum += int(v)
+			}
+			if totalSum != delivered {
+				t.Fatalf("%v rounds=%d: Total %d disagrees with Counts %d", proc, rounds, totalSum, delivered)
+			}
+		}
+	}
+}
+
+// TestBackendDeterminism: same seed and backend → bitwise-identical
+// phase results across fresh engines.
+func TestBackendDeterminism(t *testing.T) {
+	nm, err := noise.Uniform(2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, b := range Backends() {
+		run := func() []int32 {
+			e, err := NewEngineWithBackend(500, nm, ProcessO, rng.New(321), b)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ops := make([]Opinion, 500)
+			for i := range ops {
+				ops[i] = Opinion(i % 2)
+			}
+			res, err := e.RunPhase(ops, 4)
+			if err != nil {
+				t.Fatal(err)
+			}
+			return append([]int32(nil), res.Counts...)
+		}
+		a, bb := run(), run()
+		for i := range a {
+			if a[i] != bb[i] {
+				t.Fatalf("backend %v: counts differ at %d", b, i)
+			}
+		}
+	}
+}
+
+func TestBackendByName(t *testing.T) {
+	for name, want := range map[string]string{
+		"":      "loop",
+		"loop":  "loop",
+		"LOOP":  "loop",
+		"batch": "batch",
+		"Batch": "batch",
+	} {
+		b, err := BackendByName(name)
+		if err != nil {
+			t.Fatalf("%q: %v", name, err)
+		}
+		if b.String() != want {
+			t.Fatalf("%q resolved to %v", name, b)
+		}
+	}
+	if _, err := BackendByName("bogus"); err == nil {
+		t.Fatal("bogus backend accepted")
+	}
+	names := BackendNames()
+	if len(names) != 2 || names[0] != "loop" || names[1] != "batch" {
+		t.Fatalf("BackendNames() = %v", names)
+	}
+}
+
+func TestSetBackend(t *testing.T) {
+	nm, _ := noise.Identity(2)
+	e, err := NewEngine(10, nm, ProcessO, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.Backend().String() != "loop" {
+		t.Fatalf("default backend %v", e.Backend())
+	}
+	e.SetBackend(BatchBackend{})
+	if e.Backend().String() != "batch" {
+		t.Fatalf("after SetBackend: %v", e.Backend())
+	}
+	e.SetBackend(nil)
+	if e.Backend().String() != "loop" {
+		t.Fatalf("nil must restore default, got %v", e.Backend())
+	}
+}

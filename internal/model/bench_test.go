@@ -8,12 +8,16 @@ import (
 )
 
 func benchPhase(b *testing.B, proc Process, n, rounds int) {
+	benchPhaseBackend(b, LoopBackend{}, proc, n, rounds)
+}
+
+func benchPhaseBackend(b *testing.B, backend Backend, proc Process, n, rounds int) {
 	b.Helper()
 	nm, err := noise.Uniform(4, 0.25)
 	if err != nil {
 		b.Fatal(err)
 	}
-	e, err := NewEngine(n, nm, proc, rng.New(1))
+	e, err := NewEngineWithBackend(n, nm, proc, rng.New(1), backend)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -44,3 +48,27 @@ func BenchmarkPhaseProcessB(b *testing.B) { benchPhase(b, ProcessB, 10000, 32) }
 func BenchmarkPhaseProcessP(b *testing.B) { benchPhase(b, ProcessP, 10000, 32) }
 
 func BenchmarkPhaseProcessOLargeN(b *testing.B) { benchPhase(b, ProcessO, 100000, 8) }
+
+// BenchmarkPhaseBatch* measure the aggregate-sampling backend on the
+// same workloads as the loop benchmarks above. Batch cost per phase is
+// independent of the round count, so the MB/s readout (messages/µs)
+// grows linearly with `rounds` while the loop backend's stays flat.
+func BenchmarkPhaseBatchProcessO(b *testing.B) {
+	benchPhaseBackend(b, BatchBackend{}, ProcessO, 10000, 32)
+}
+
+func BenchmarkPhaseBatchProcessP(b *testing.B) {
+	benchPhaseBackend(b, BatchBackend{}, ProcessP, 10000, 32)
+}
+
+func BenchmarkPhaseBatchProcessOLargeN(b *testing.B) {
+	benchPhaseBackend(b, BatchBackend{}, ProcessO, 100000, 8)
+}
+
+// BenchmarkPhaseBatchHuge is the n = 10⁷ phase: one 114-round phase
+// (the protocol's regular Stage-2 length at ε = 0.3) sampled in
+// aggregate. Per-message simulation of the same phase would push
+// 1.14·10⁹ messages; the batch backend completes it in seconds.
+func BenchmarkPhaseBatchHuge(b *testing.B) {
+	benchPhaseBackend(b, BatchBackend{}, ProcessO, 10_000_000, 114)
+}

@@ -50,6 +50,10 @@ type PhaseResult struct {
 // Engine simulates phases of the noisy uniform push model on a fixed
 // population. It is not safe for concurrent use; the experiment
 // harness runs one engine per trial goroutine.
+//
+// How a phase's deliveries are sampled is delegated to a Backend:
+// LoopBackend (the per-message reference) or BatchBackend (aggregate
+// phase sampling). See backend.go.
 type Engine struct {
 	n       int
 	k       int
@@ -58,13 +62,12 @@ type Engine struct {
 	tables  []*dist.AliasTable
 	noisy   bool
 	r       *rng.Rand
+	backend Backend
 	counts  []int32
 	total   []int32
 	sentBuf []int // per-opinion sent counts, reused
 	recvBuf []int // per-opinion post-noise counts, reused
-	binBuf  []int // per-bin multinomial buffer, reused (B only)
-	rowBuf  []int // k-length multinomial buffer (B, P)
-	probBuf []float64
+	rowBuf  []int // k-length multinomial scratch, reused
 }
 
 // NewEngine builds an engine for n nodes under the given noise matrix
@@ -92,18 +95,43 @@ func NewEngine(n int, nm *noise.Matrix, proc Process, r *rng.Rand) (*Engine, err
 		nm:      nm,
 		noisy:   !nm.IsIdentity(),
 		r:       r,
+		backend: LoopBackend{},
 		counts:  make([]int32, n*k),
 		total:   make([]int32, n),
 		sentBuf: make([]int, k),
 		recvBuf: make([]int, k),
 		rowBuf:  make([]int, k),
-		probBuf: make([]float64, k),
 	}
 	if e.noisy {
 		e.tables = nm.RowTables()
 	}
 	return e, nil
 }
+
+// NewEngineWithBackend builds an engine and selects its sampling
+// backend in one call (nil selects the default LoopBackend).
+func NewEngineWithBackend(n int, nm *noise.Matrix, proc Process, r *rng.Rand, b Backend) (*Engine, error) {
+	e, err := NewEngine(n, nm, proc, r)
+	if err != nil {
+		return nil, err
+	}
+	e.SetBackend(b)
+	return e, nil
+}
+
+// SetBackend selects the sampling backend; nil restores the default
+// LoopBackend. Switching backends changes how the random stream is
+// consumed (not the phase distribution), so runs with different
+// backends are statistically equivalent but not bitwise identical.
+func (e *Engine) SetBackend(b Backend) {
+	if b == nil {
+		b = LoopBackend{}
+	}
+	e.backend = b
+}
+
+// Backend returns the engine's current sampling backend.
+func (e *Engine) Backend() Backend { return e.backend }
 
 // N returns the population size.
 func (e *Engine) N() int { return e.n }
@@ -132,39 +160,8 @@ func (e *Engine) RunPhase(ops []Opinion, rounds int) (PhaseResult, error) {
 	for i := range e.total {
 		e.total[i] = 0
 	}
-	sent := 0
-	switch e.proc {
-	case ProcessO:
-		sent = e.runPhaseO(ops, rounds)
-	case ProcessB:
-		sent = e.runPhaseB(ops, rounds)
-	case ProcessP:
-		sent = e.runPhaseP(ops, rounds)
-	}
+	sent := e.backend.runPhase(e, ops, rounds)
 	return PhaseResult{Counts: e.counts, Total: e.total, Sent: sent, K: e.k}, nil
-}
-
-// runPhaseO is the real push model: per message, an independent noise
-// perturbation and an independent uniform target.
-func (e *Engine) runPhaseO(ops []Opinion, rounds int) int {
-	sent := 0
-	un := uint64(e.n)
-	for round := 0; round < rounds; round++ {
-		for _, op := range ops {
-			if op == Undecided {
-				continue
-			}
-			sent++
-			recv := int(op)
-			if e.noisy {
-				recv = e.tables[op].Sample(e.r)
-			}
-			target := int(e.r.Uint64n(un))
-			e.counts[target*e.k+recv]++
-			e.total[target]++
-		}
-	}
-	return sent
 }
 
 // phaseSent tallies how many messages of each opinion are pushed over
@@ -188,77 +185,12 @@ func (e *Engine) phaseSent(ops []Opinion, rounds int) (total int) {
 
 // applyNoiseBulk re-colors the sent multiset M_j into the received
 // multiset N_j with one multinomial draw per opinion (the first step
-// of process B).
+// of process B, and the batch backend's noise step for every
+// process). The noiseless channel passes counts through untouched.
 func (e *Engine) applyNoiseBulk() {
-	for i := range e.recvBuf {
-		e.recvBuf[i] = 0
+	if !e.noisy {
+		copy(e.recvBuf, e.sentBuf)
+		return
 	}
-	for i, h := range e.sentBuf {
-		if h == 0 {
-			continue
-		}
-		if !e.noisy {
-			e.recvBuf[i] += h
-			continue
-		}
-		row := e.nm.Row(i)
-		copy(e.probBuf, row)
-		dist.SampleMultinomial(e.r, h, e.probBuf, e.rowBuf)
-		for j, c := range e.rowBuf {
-			e.recvBuf[j] += c
-		}
-	}
-}
-
-// runPhaseB implements Definition 3: bulk re-color, then throw each
-// color's balls uniformly into the n bins. Throwing g balls uniformly
-// into n bins yields multinomial per-bin counts, which are drawn with
-// sequential conditional binomials in O(n) per color instead of O(g)
-// ball-by-ball.
-func (e *Engine) runPhaseB(ops []Opinion, rounds int) int {
-	sent := e.phaseSent(ops, rounds)
-	e.applyNoiseBulk()
-	for j, g := range e.recvBuf {
-		if g == 0 {
-			continue
-		}
-		remaining := g
-		for u := 0; u < e.n && remaining > 0; u++ {
-			var c int
-			if u == e.n-1 {
-				c = remaining
-			} else {
-				c = dist.SampleBinomial(e.r, remaining, 1/float64(e.n-u))
-			}
-			if c > 0 {
-				e.counts[u*e.k+j] += int32(c)
-				e.total[u] += int32(c)
-				remaining -= c
-			}
-		}
-	}
-	return sent
-}
-
-// runPhaseP implements Definition 4: every node receives an
-// independent Poisson(h_j/n) number of opinion-j messages, with h_j
-// the noisy multiset counts.
-func (e *Engine) runPhaseP(ops []Opinion, rounds int) int {
-	sent := e.phaseSent(ops, rounds)
-	e.applyNoiseBulk()
-	nf := float64(e.n)
-	for j, g := range e.recvBuf {
-		if g == 0 {
-			continue
-		}
-		mu := float64(g) / nf
-		for u := 0; u < e.n; u++ {
-			c := dist.SamplePoisson(e.r, mu)
-			if c > 0 {
-				e.counts[u*e.k+j] += int32(c)
-				e.total[u] += int32(c)
-			}
-		}
-	}
-	return sent
+	e.nm.SplitCounts(e.r, e.sentBuf, e.recvBuf, e.rowBuf)
 }

@@ -29,6 +29,13 @@
 // the paper's "another agent chosen uniformly at random" differs from
 // this by O(1/n) and only in process O, where it would break the exact
 // coupling of Claim 1.
+//
+// Orthogonally to the process choice, a sampling Backend decides how
+// the selected process's phase law is drawn: LoopBackend simulates
+// process O message by message (the reference), while BatchBackend
+// samples each phase's delivery counts in aggregate — exactly the same
+// distribution at a per-phase cost independent of the round count.
+// See backend.go.
 package model
 
 import "fmt"

@@ -148,6 +148,34 @@ func Perturb(tables []*dist.AliasTable, r *rng.Rand, i int) int {
 	return tables[i].Sample(r)
 }
 
+// SplitCounts applies the channel to an aggregate sent multiset: the
+// sent[i] messages of opinion i are re-colored with one k-way
+// multinomial draw over row i — the exact joint law of perturbing
+// every message independently — and the received totals are
+// accumulated into dst. dst and scratch must have length k; dst is
+// zeroed first, scratch is clobbered. This is the batch engine's
+// noise step: O(k²) work regardless of the message count.
+func (m *Matrix) SplitCounts(r *rng.Rand, sent []int, dst, scratch []int) {
+	if len(sent) != m.k || len(dst) != m.k || len(scratch) != m.k {
+		panic(fmt.Sprintf("noise: SplitCounts with lengths %d/%d/%d on a %d-matrix",
+			len(sent), len(dst), len(scratch), m.k))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, h := range sent {
+		if h == 0 {
+			continue
+		}
+		// SampleMultinomial only reads the probabilities, so the row
+		// can be passed without copying.
+		dist.SampleMultinomial(r, h, m.p[i*m.k:(i+1)*m.k], scratch)
+		for j, c := range scratch {
+			dst[j] += c
+		}
+	}
+}
+
 // String renders the matrix with 4-decimal entries.
 func (m *Matrix) String() string {
 	s := ""

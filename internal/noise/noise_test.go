@@ -342,6 +342,74 @@ func TestPerturbDistribution(t *testing.T) {
 	}
 }
 
+func TestSplitCountsConservesAndMatchesPerturb(t *testing.T) {
+	m := mustUniform(t, 3, 0.3)
+	sent := []int{40000, 15000, 5000}
+	total := 60000
+
+	// Aggregate split.
+	r := rng.New(7)
+	dst := make([]int, 3)
+	scratch := make([]int, 3)
+	m.SplitCounts(r, sent, dst, scratch)
+	got := 0
+	for _, c := range dst {
+		if c < 0 {
+			t.Fatal("negative received count")
+		}
+		got += c
+	}
+	if got != total {
+		t.Fatalf("SplitCounts conserves %d of %d messages", got, total)
+	}
+
+	// Per-message reference: perturb each message individually.
+	r2 := rng.New(8)
+	tables := m.RowTables()
+	ref := make([]int, 3)
+	for i, h := range sent {
+		for x := 0; x < h; x++ {
+			ref[Perturb(tables, r2, i)]++
+		}
+	}
+	// The two received vectors are draws from the same distribution;
+	// each component should agree within normal fluctuation (6σ on a
+	// conservative per-opinion variance bound).
+	for j := range dst {
+		want := 0.0
+		for i, h := range sent {
+			want += float64(h) * m.At(i, j)
+		}
+		sd := math.Sqrt(want)
+		if math.Abs(float64(dst[j])-want) > 6*sd || math.Abs(float64(ref[j])-want) > 6*sd {
+			t.Fatalf("opinion %d: split %d, per-message %d, want ~%.0f ± %.0f",
+				j, dst[j], ref[j], want, 6*sd)
+		}
+	}
+}
+
+func TestSplitCountsIdentity(t *testing.T) {
+	m, err := Identity(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst := make([]int, 3)
+	m.SplitCounts(rng.New(1), []int{5, 0, 9}, dst, make([]int, 3))
+	if dst[0] != 5 || dst[1] != 0 || dst[2] != 9 {
+		t.Fatalf("identity split = %v", dst)
+	}
+}
+
+func TestSplitCountsPanicsOnBadLengths(t *testing.T) {
+	m := mustUniform(t, 2, 0.1)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("length mismatch did not panic")
+		}
+	}()
+	m.SplitCounts(rng.New(1), []int{1}, make([]int, 2), make([]int, 2))
+}
+
 func TestStringFormat(t *testing.T) {
 	m := mustUniform(t, 2, 0.1)
 	s := m.String()

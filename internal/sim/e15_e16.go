@@ -57,7 +57,7 @@ func RunE15(cfg Config) (*Report, error) {
 				}
 				outs := Parallel(cfg, cfg.Seed+uint64(k*1000)+uint64(c*10)+uint64(extra), trials,
 					func(_ int, r *rng.Rand) outcome {
-						return runProtocol(r, n, nm, params, init, 0, false)
+						return runProtocol(cfg, r, n, nm, params, init, 0, false)
 					})
 				if err := firstError(outs); err != nil {
 					return nil, err
@@ -123,7 +123,7 @@ func RunE16(cfg Config) (*Report, error) {
 			ell := sched.Stage2[0].SampleSize
 			outs := Parallel(cfg, cfg.Seed+uint64(n)+uint64(g*100), trials,
 				func(_ int, r *rng.Rand) outcome {
-					return runProtocol(r, n, nm, params, init, 0, false)
+					return runProtocol(cfg, r, n, nm, params, init, 0, false)
 				})
 			if err := firstError(outs); err != nil {
 				return nil, err

@@ -61,7 +61,7 @@ func RunE17(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		outs := Parallel(cfg, cfg.Seed+uint64(i)*101, trials, func(_ int, r *rng.Rand) outcome {
-			return runProtocol(r, n, nm, params, init, 0, false)
+			return runProtocol(cfg, r, n, nm, params, init, 0, false)
 		})
 		if err := firstError(outs); err != nil {
 			return nil, err
@@ -114,6 +114,10 @@ func RunE18(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	params := core.DefaultParams(eps)
+	// This experiment builds its engines directly (it drives the
+	// jittered runner), so honor the harness backend axis here the way
+	// runProtocol does.
+	params.Backend = cfg.Backend
 	sched, err := core.NewSchedule(n, params)
 	if err != nil {
 		return nil, err

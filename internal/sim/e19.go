@@ -37,6 +37,10 @@ func RunE19(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	params := core.DefaultParams(eps)
+	// This experiment builds its engines directly (it drives the
+	// adversarial runner), so honor the harness backend axis here the
+	// way runProtocol does.
+	params.Backend = cfg.Backend
 	sched, err := core.NewSchedule(n, params)
 	if err != nil {
 		return nil, err

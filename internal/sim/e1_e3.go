@@ -54,7 +54,7 @@ func RunE1(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		outs := Parallel(cfg, cfg.Seed+uint64(n), trials, func(_ int, r *rng.Rand) outcome {
-			return runProtocol(r, n, nm, core.DefaultParams(eps), init, 0, false)
+			return runProtocol(cfg, r, n, nm, core.DefaultParams(eps), init, 0, false)
 		})
 		if err := firstError(outs); err != nil {
 			return nil, err
@@ -113,7 +113,7 @@ func RunE2(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		outs := Parallel(cfg, cfg.Seed+uint64(100*k), trials, func(_ int, r *rng.Rand) outcome {
-			return runProtocol(r, n, nm, core.DefaultParams(eps), init, 0, false)
+			return runProtocol(cfg, r, n, nm, core.DefaultParams(eps), init, 0, false)
 		})
 		if err := firstError(outs); err != nil {
 			return nil, err
@@ -172,7 +172,7 @@ func RunE3(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		outs := Parallel(cfg, cfg.Seed+uint64(eps*1e6), trials, func(_ int, r *rng.Rand) outcome {
-			return runProtocol(r, n, nm, core.DefaultParams(eps), init, 0, false)
+			return runProtocol(cfg, r, n, nm, core.DefaultParams(eps), init, 0, false)
 		})
 		if err := firstError(outs); err != nil {
 			return nil, err
@@ -209,7 +209,7 @@ func RunE3(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	outs := Parallel(cfg, cfg.Seed+999, probeTrials, func(_ int, r *rng.Rand) outcome {
-		return runProtocol(r, n, nm, core.DefaultParams(probeEps), init, 0, true)
+		return runProtocol(cfg, r, n, nm, core.DefaultParams(probeEps), init, 0, true)
 	})
 	if err := firstError(outs); err != nil {
 		return nil, err

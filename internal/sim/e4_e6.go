@@ -43,7 +43,7 @@ func RunE4(cfg Config) (*Report, error) {
 		return nil, err
 	}
 	outs := Parallel(cfg, cfg.Seed, trials, func(_ int, r *rng.Rand) outcome {
-		return runProtocol(r, n, nm, params, init, 0, true)
+		return runProtocol(cfg, r, n, nm, params, init, 0, true)
 	})
 	if err := firstError(outs); err != nil {
 		return nil, err
@@ -149,7 +149,7 @@ func RunE5(cfg Config) (*Report, error) {
 		}
 		params := core.DefaultParams(eps)
 		outs := Parallel(cfg, cfg.Seed+uint64(k), trials, func(_ int, r *rng.Rand) outcome {
-			return runProtocol(r, n, nm, params, init, 0, true)
+			return runProtocol(cfg, r, n, nm, params, init, 0, true)
 		})
 		if err := firstError(outs); err != nil {
 			return nil, err
@@ -251,7 +251,7 @@ func RunE6(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		outs := Parallel(cfg, cfg.Seed+uint64(mult*1000), trials, func(_ int, r *rng.Rand) outcome {
-			return runProtocol(r, n, nm, params, init, 0, false)
+			return runProtocol(cfg, r, n, nm, params, init, 0, false)
 		})
 		if err := firstError(outs); err != nil {
 			return nil, err
@@ -282,7 +282,7 @@ func RunE6(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		outs := Parallel(cfg, cfg.Seed+uint64(bm*77777), trials, func(_ int, r *rng.Rand) outcome {
-			return runProtocol(r, n, nm, params, init, 0, false)
+			return runProtocol(cfg, r, n, nm, params, init, 0, false)
 		})
 		if err := firstError(outs); err != nil {
 			return nil, err

@@ -118,7 +118,7 @@ func RunE7(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		outs := Parallel(cfg, cfg.Seed+uint64(len(tc.name)), trials, func(_ int, rr *rng.Rand) outcome {
-			return runProtocol(rr, n, nm, core.DefaultParams(eps), init, 0, false)
+			return runProtocol(cfg, rr, n, nm, core.DefaultParams(eps), init, 0, false)
 		})
 		if err := firstError(outs); err != nil {
 			return nil, err

@@ -127,7 +127,7 @@ func RunE10(cfg Config) (*Report, error) {
 
 		// The paper's protocol.
 		outs := Parallel(cfg, cfg.Seed+uint64(eps*1e5), trials, func(_ int, r *rng.Rand) outcome {
-			return runProtocol(r, n, nm, params, init, 0, false)
+			return runProtocol(cfg, r, n, nm, params, init, 0, false)
 		})
 		if err := firstError(outs); err != nil {
 			return nil, err
@@ -221,7 +221,7 @@ func RunE11(cfg Config) (*Report, error) {
 			}
 			outs := Parallel(cfg, cfg.Seed+uint64(n)+uint64(eps*1e4), trials,
 				func(_ int, r *rng.Rand) outcome {
-					return runProtocol(r, n, nm, core.DefaultParams(eps), init, 0, false)
+					return runProtocol(cfg, r, n, nm, core.DefaultParams(eps), init, 0, false)
 				})
 			if err := firstError(outs); err != nil {
 				return nil, err

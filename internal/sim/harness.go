@@ -27,6 +27,10 @@ type Config struct {
 	// Quick shrinks population sizes and trial counts to CI scale.
 	// Full-size runs are what EXPERIMENTS.md records.
 	Quick bool
+	// Backend names the model sampling backend every protocol trial
+	// runs on ("loop", "batch"; empty = loop). Experiments that
+	// explicitly compare backends or processes ignore it.
+	Backend string
 }
 
 func (c Config) workers() int {

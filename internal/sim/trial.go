@@ -21,11 +21,16 @@ type outcome struct {
 	err        error
 }
 
-// runProtocol executes one protocol trial. Errors are carried in the
-// outcome so Parallel trials can surface them after the fan-in.
-func runProtocol(r *rng.Rand, n int, nm *noise.Matrix, params core.Params,
+// runProtocol executes one protocol trial on the backend named by cfg
+// (params.Backend, when set, wins — experiments that pin a backend do
+// so through Params). Errors are carried in the outcome so Parallel
+// trials can surface them after the fan-in.
+func runProtocol(cfg Config, r *rng.Rand, n int, nm *noise.Matrix, params core.Params,
 	initial []model.Opinion, correct model.Opinion, trace bool) outcome {
 
+	if params.Backend == "" {
+		params.Backend = cfg.Backend
+	}
 	eng, err := model.NewEngine(n, nm, model.ProcessO, r)
 	if err != nil {
 		return outcome{err: err}

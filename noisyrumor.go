@@ -120,6 +120,9 @@ const (
 	ProcessP = model.ProcessP
 )
 
+// Backends lists the accepted Config.Backend values.
+func Backends() []string { return model.BackendNames() }
+
 // Config configures a protocol run.
 type Config struct {
 	// N is the number of agents (≥ 2).
@@ -137,6 +140,13 @@ type Config struct {
 	// Engine selects the communication process; the zero value is
 	// ProcessO, the exact per-message simulation.
 	Engine Process
+	// Backend selects how phases are sampled: "loop" (the per-message
+	// reference, the default) or "batch" (aggregate phase sampling,
+	// statistically equivalent and orders of magnitude faster for
+	// large N). See the package README for when each is exact. If
+	// Params.Backend is also set, Params wins — there is a single
+	// resolution path, through the protocol parameters.
+	Backend string
 }
 
 func (c Config) validate() error {
@@ -150,7 +160,12 @@ func (c Config) validate() error {
 }
 
 func (c Config) params() Params {
-	if c.Params == (Params{}) {
+	// The backend name is orthogonal to the protocol constants, so it
+	// is excluded from the "zero Params means defaults" sentinel:
+	// Params{Backend: "batch"} alone still gets derived constants.
+	probe := c.Params
+	probe.Backend = ""
+	if probe == (Params{}) {
 		// A zero Params means "defaults": derive ε from the matrix's
 		// worst-case kept bias at δ=1 when possible, falling back to
 		// the uniform-matrix contraction estimate.
@@ -158,7 +173,9 @@ func (c Config) params() Params {
 		if eps <= 0 || eps > 1 {
 			eps = 0.5
 		}
-		return DefaultParams(eps)
+		p := DefaultParams(eps)
+		p.Backend = c.Params.Backend
+		return p
 	}
 	return c.Params
 }
@@ -170,11 +187,18 @@ func Run(cfg Config, initial []Opinion, correct Opinion) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
+	params := cfg.params()
+	// Fold the top-level knob into the protocol parameters so backend
+	// selection has exactly one resolution path (core.New); an
+	// explicit Params.Backend takes precedence.
+	if params.Backend == "" {
+		params.Backend = cfg.Backend
+	}
 	eng, err := model.NewEngine(cfg.N, cfg.Noise, cfg.Engine, rng.New(cfg.Seed))
 	if err != nil {
 		return Result{}, err
 	}
-	p, err := core.New(eng, cfg.params())
+	p, err := core.New(eng, params)
 	if err != nil {
 		return Result{}, err
 	}
