@@ -4,15 +4,19 @@ GO ?= go
 
 # Benchmarks that are fast enough for CI (one iteration each): the
 # E-suite regeneration benches at quick scale plus the engine-phase
-# micro-benches. The n=10⁵/10⁷ headline benches are excluded here and
-# run by `make bench-json`.
-QUICK_BENCH := 'BenchmarkE[0-9]+|BenchmarkPhase(Process|Batch(Process|.*LargeN))'
+# micro-benches for every backend (loop, batch, parallel). The
+# n=10⁵/10⁷ headline benches are excluded here and run by
+# `make bench-json`.
+QUICK_BENCH := 'BenchmarkE[0-9]+|BenchmarkPhase(Process|(Batch|Parallel)(Process|.*LargeN))'
 
 # Headline perf-trajectory benches recorded in BENCH_<n>.json.
-HEADLINE_BENCH := 'BenchmarkRumorSpreading($$|Huge)|BenchmarkPhaseBatchHuge|BenchmarkAblationEngine'
+HEADLINE_BENCH := 'BenchmarkRumorSpreading($$|Huge)|BenchmarkPhase(Batch|Parallel)Huge|BenchmarkAblationEngine'
 
-# Bump when recording a new perf-trajectory point.
-BENCH_N := 1
+# Next free perf-trajectory index, auto-detected so `make bench-json`
+# appends a new BENCH_<n>.json instead of overwriting the last one.
+# Override explicitly (`make bench-json BENCH_N=3`) to regenerate a
+# specific point.
+BENCH_N ?= $(shell i=1; while [ -e BENCH_$$i.json ]; do i=$$((i+1)); done; echo $$i)
 
 .PHONY: build vet test race bench-quick bench-json check clean
 
@@ -36,7 +40,7 @@ bench-quick:
 # snapshots them into BENCH_$(BENCH_N).json.
 bench-json:
 	{ $(GO) test -run '^$$' -bench $(HEADLINE_BENCH) -benchtime 2x -timeout 60m . ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkPhaseBatchHuge' -benchtime 2x -timeout 60m ./internal/model ; } \
+	  $(GO) test -run '^$$' -bench 'BenchmarkPhase(Batch|Parallel)Huge' -benchtime 2x -timeout 60m ./internal/model ; } \
 	| tee /dev/stderr \
 	| $(GO) run ./cmd/benchjson -label BENCH_$(BENCH_N) > BENCH_$(BENCH_N).json
 

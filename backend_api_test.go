@@ -1,6 +1,9 @@
 package noisyrumor
 
-import "testing"
+import (
+	"reflect"
+	"testing"
+)
 
 // TestRumorSpreadingBackends runs the headline problem on both
 // sampling backends through the public API: both must succeed from a
@@ -59,7 +62,57 @@ func TestUnknownBackendRejected(t *testing.T) {
 
 func TestBackendsList(t *testing.T) {
 	names := Backends()
-	if len(names) != 2 || names[0] != "loop" || names[1] != "batch" {
+	if len(names) != 3 || names[0] != "loop" || names[1] != "batch" || names[2] != "parallel" {
 		t.Fatalf("Backends() = %v", names)
+	}
+}
+
+// TestParallelThreads1MatchesBatchAPI: through the public API, a
+// parallel run pinned to one thread must reproduce the batch backend
+// bit for bit — the facade's Threads knob reaches the engine.
+func TestParallelThreads1MatchesBatchAPI(t *testing.T) {
+	nm, err := UniformNoise(3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(backend string, threads int) Result {
+		res, err := RumorSpreading(Config{
+			N: 2500, Noise: nm, Params: DefaultParams(0.3),
+			Seed: 5, Backend: backend, Threads: threads,
+		}, 0)
+		if err != nil {
+			t.Fatalf("backend %s threads %d: %v", backend, threads, err)
+		}
+		return res
+	}
+	batch := run("batch", 0)
+	par := run("parallel", 1)
+	if !reflect.DeepEqual(batch, par) {
+		t.Fatalf("parallel threads=1 diverges from batch:\nbatch:    %+v\nparallel: %+v", batch, par)
+	}
+}
+
+// TestParallelThreadsDeterminismAPI: fixed (Seed, Backend, Threads)
+// reproduces the same outcome at every thread count.
+func TestParallelThreadsDeterminismAPI(t *testing.T) {
+	nm, err := UniformNoise(3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{1, 4, 8} {
+		var prev Result
+		for rep := 0; rep < 2; rep++ {
+			res, err := RumorSpreading(Config{
+				N: 2500, Noise: nm, Params: DefaultParams(0.3),
+				Seed: 13, Backend: "parallel", Threads: threads,
+			}, 0)
+			if err != nil {
+				t.Fatalf("threads %d: %v", threads, err)
+			}
+			if rep > 0 && !reflect.DeepEqual(res, prev) {
+				t.Fatalf("threads %d: nondeterministic across identical runs", threads)
+			}
+			prev = res
+		}
 	}
 }

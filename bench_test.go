@@ -1,6 +1,6 @@
 package noisyrumor
 
-// The bench harness: one benchmark per validation experiment E1–E18
+// The bench harness: one benchmark per validation experiment E1–E19
 // (see DESIGN.md §3). Each benchmark executes the experiment's full
 // pipeline at CI scale (sim.Config.Quick); the numbers printed by
 // `go test -bench=. -benchmem` are the cost of regenerating that
@@ -109,14 +109,15 @@ func BenchmarkE18JitterRobustness(b *testing.B) { benchExperiment(b, "E18") }
 func BenchmarkE19Adversary(b *testing.B) { benchExperiment(b, "E19") }
 
 // benchRumor runs one full rumor-spreading execution per iteration at
-// population n on the named sampling backend.
-func benchRumor(b *testing.B, n int, backend string) {
+// population n on the named sampling backend (threads applies to the
+// parallel backend only; 0 = GOMAXPROCS).
+func benchRumor(b *testing.B, n int, backend string, threads int) {
 	b.Helper()
 	nm, err := UniformNoise(3, 0.25)
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := Config{N: n, Noise: nm, Params: DefaultParams(0.25), Backend: backend}
+	cfg := Config{N: n, Noise: nm, Params: DefaultParams(0.25), Backend: backend, Threads: threads}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i + 1)
@@ -139,7 +140,7 @@ func benchRumor(b *testing.B, n int, backend string) {
 func BenchmarkRumorSpreading(b *testing.B) {
 	for _, backend := range Backends() {
 		b.Run("n=1e5/backend="+backend, func(b *testing.B) {
-			benchRumor(b, 100_000, backend)
+			benchRumor(b, 100_000, backend, 0)
 		})
 	}
 }
@@ -147,10 +148,15 @@ func BenchmarkRumorSpreading(b *testing.B) {
 // BenchmarkRumorSpreadingHuge runs the regime where the paper's
 // w.h.p. guarantees bite. Per-message simulation is out of reach here;
 // the batch backend completes a full n = 10⁷ protocol execution in
-// seconds.
+// tens of seconds and the parallel backend divides that by ~#cores
+// (the threads=4 variant documents the multi-core headline; on a
+// single-core host it degenerates to batch plus fork overhead).
 func BenchmarkRumorSpreadingHuge(b *testing.B) {
 	b.Run("n=1e7/backend=batch", func(b *testing.B) {
-		benchRumor(b, 10_000_000, "batch")
+		benchRumor(b, 10_000_000, "batch", 0)
+	})
+	b.Run("n=1e7/backend=parallel/threads=4", func(b *testing.B) {
+		benchRumor(b, 10_000_000, "parallel", 4)
 	})
 }
 

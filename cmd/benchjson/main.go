@@ -136,18 +136,29 @@ func parse(in io.Reader) (*Report, error) {
 
 // derive computes cross-benchmark ratios of interest.
 func derive(rep *Report) {
-	var loop, batch float64
+	var loop, batch, hugeBatch, hugeParallel float64
 	for _, b := range rep.Benchmarks {
 		switch {
 		case strings.HasSuffix(b.Name, "backend=loop") && strings.Contains(b.Name, "RumorSpreading/"):
 			loop = b.NsPerOp
 		case strings.HasSuffix(b.Name, "backend=batch") && strings.Contains(b.Name, "RumorSpreading/"):
 			batch = b.NsPerOp
+		case strings.HasSuffix(b.Name, "backend=batch") && strings.Contains(b.Name, "RumorSpreadingHuge/"):
+			hugeBatch = b.NsPerOp
+		case strings.Contains(b.Name, "backend=parallel") && strings.Contains(b.Name, "RumorSpreadingHuge/"):
+			hugeParallel = b.NsPerOp
 		}
 	}
-	if loop > 0 && batch > 0 {
-		rep.Derived = map[string]float64{
-			"rumor_spreading_n1e5_speedup_batch_over_loop": loop / batch,
+	add := func(key string, v float64) {
+		if rep.Derived == nil {
+			rep.Derived = map[string]float64{}
 		}
+		rep.Derived[key] = v
+	}
+	if loop > 0 && batch > 0 {
+		add("rumor_spreading_n1e5_speedup_batch_over_loop", loop/batch)
+	}
+	if hugeBatch > 0 && hugeParallel > 0 {
+		add("rumor_spreading_n1e7_speedup_parallel_over_batch", hugeBatch/hugeParallel)
 	}
 }

@@ -75,3 +75,23 @@ func TestRunNoBenchmarks(t *testing.T) {
 		t.Fatal("empty input accepted")
 	}
 }
+
+const sampleHuge = `goos: linux
+BenchmarkRumorSpreadingHuge/n=1e7/backend=batch      	       2	42660470332 ns/op
+BenchmarkRumorSpreadingHuge/n=1e7/backend=parallel/threads=4-4      	       2	10665117583 ns/op
+PASS
+`
+
+func TestDeriveParallelSpeedup(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleHuge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	speedup := rep.Derived["rumor_spreading_n1e7_speedup_parallel_over_batch"]
+	if speedup < 3.9 || speedup > 4.1 {
+		t.Fatalf("parallel speedup = %v", speedup)
+	}
+	if _, ok := rep.Derived["rumor_spreading_n1e5_speedup_batch_over_loop"]; ok {
+		t.Fatal("n=1e5 speedup derived without both backends present")
+	}
+}

@@ -63,3 +63,25 @@ func TestWriteCSVDir(t *testing.T) {
 		t.Fatalf("csv content wrong: %s", data)
 	}
 }
+
+func TestRunParallelBackendThreads(t *testing.T) {
+	// The -backend/-threads axes must reach the trial runner: a quick
+	// experiment on the parallel backend with a pinned thread count
+	// must complete and report normally.
+	var b strings.Builder
+	if err := run([]string{"-run", "E1", "-quick", "-backend", "parallel", "-threads", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "E1") {
+		t.Fatalf("unexpected output:\n%s", b.String())
+	}
+}
+
+func TestRunRejectsBadBackendAndThreads(t *testing.T) {
+	if err := run([]string{"-run", "E1", "-quick", "-backend", "warp"}, io.Discard); err == nil {
+		t.Fatal("unknown backend accepted")
+	}
+	if err := run([]string{"-run", "E1", "-quick", "-threads", "-3"}, io.Discard); err == nil {
+		t.Fatal("negative thread count accepted")
+	}
+}

@@ -38,6 +38,8 @@ func run(args []string, out io.Writer) error {
 		matrix  = fs.String("matrix", "uniform", "noise matrix: uniform | binary | identity | cycle | reset")
 		counts  = fs.String("counts", "", "comma-separated initial opinion counts (plurality consensus); empty = rumor spreading from one source")
 		correct = fs.Int("correct", 0, "the source's opinion (rumor spreading only)")
+		backend = fs.String("backend", "", "sampling backend: "+strings.Join(noisyrumor.Backends(), " | ")+" (empty = loop)")
+		threads = fs.Int("threads", 0, "intra-phase worker count for the parallel backend (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -48,11 +50,13 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg := noisyrumor.Config{
-		N:      *n,
-		Noise:  nm,
-		Params: noisyrumor.DefaultParams(*eps),
-		Seed:   *seed,
-		Trace:  *trace,
+		N:       *n,
+		Noise:   nm,
+		Params:  noisyrumor.DefaultParams(*eps),
+		Seed:    *seed,
+		Trace:   *trace,
+		Backend: *backend,
+		Threads: *threads,
 	}
 
 	var res noisyrumor.Result

@@ -77,3 +77,18 @@ func TestRunRejectsBadFlags(t *testing.T) {
 		t.Fatal("count/k mismatch accepted")
 	}
 }
+
+func TestRunParallelBackendSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "400", "-k", "2", "-eps", "0.4", "-seed", "3",
+		"-backend", "parallel", "-threads", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "consensus=") {
+		t.Fatalf("output missing consensus line:\n%s", b.String())
+	}
+	if err := run([]string{"-n", "400", "-k", "2", "-eps", "0.4",
+		"-backend", "warp"}, io.Discard); err == nil {
+		t.Fatal("bogus backend accepted")
+	}
+}

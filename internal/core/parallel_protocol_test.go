@@ -1,0 +1,141 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/model"
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// runFullProtocol executes one rumor-spreading run end to end and
+// returns the result plus the final opinion vector.
+func runFullProtocol(t *testing.T, n int, seed uint64, params Params) (Result, []model.Opinion) {
+	t.Helper()
+	nm, err := noise.Uniform(3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := model.NewEngine(n, nm, model.ProcessO, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := New(eng, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	initial, err := model.InitRumor(n, 3, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.Run(initial, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, p.Opinions()
+}
+
+// TestProtocolParallelThreads1MatchesBatch is the end-to-end half of
+// the bit-identity contract: a whole protocol execution on
+// backend=parallel threads=1 must equal backend=batch exactly — same
+// Result, same final opinions — because the single-chunk path neither
+// adds stream draws in the engine nor in the phase-end loops.
+func TestProtocolParallelThreads1MatchesBatch(t *testing.T) {
+	const n, seed = 2000, 11
+	pb := DefaultParams(0.3)
+	pb.Backend = "batch"
+	resBatch, opsBatch := runFullProtocol(t, n, seed, pb)
+	pp := DefaultParams(0.3)
+	pp.Backend = "parallel"
+	pp.Threads = 1
+	resPar, opsPar := runFullProtocol(t, n, seed, pp)
+	if !reflect.DeepEqual(resBatch, resPar) {
+		t.Fatalf("results diverge:\nbatch:       %+v\nparallel(1): %+v", resBatch, resPar)
+	}
+	if !reflect.DeepEqual(opsBatch, opsPar) {
+		t.Fatal("final opinion vectors diverge between batch and parallel threads=1")
+	}
+}
+
+// TestProtocolParallelDeterminism: for fixed (seed, threads) the whole
+// protocol execution is reproducible — the golden-determinism contract
+// of the -threads flag, run at 1, 4 and 8 workers (and under -race in
+// CI, which also exercises the chunked phase-end loops).
+func TestProtocolParallelDeterminism(t *testing.T) {
+	for _, threads := range []int{1, 4, 8} {
+		params := DefaultParams(0.3)
+		params.Backend = "parallel"
+		params.Threads = threads
+		resA, opsA := runFullProtocol(t, 3000, 42, params)
+		resB, opsB := runFullProtocol(t, 3000, 42, params)
+		if !reflect.DeepEqual(resA, resB) {
+			t.Fatalf("threads=%d: results differ across identical runs:\n%+v\n%+v", threads, resA, resB)
+		}
+		if !reflect.DeepEqual(opsA, opsB) {
+			t.Fatalf("threads=%d: final opinions differ across identical runs", threads)
+		}
+	}
+}
+
+// TestProtocolParallelConverges: the protocol's correctness guarantee
+// survives the parallel decomposition — a multi-threaded run still
+// reaches correct consensus from a single source.
+func TestProtocolParallelConverges(t *testing.T) {
+	params := DefaultParams(0.3)
+	params.Backend = "parallel"
+	params.Threads = 4
+	res, _ := runFullProtocol(t, 3000, 7, params)
+	if !res.Correct {
+		t.Fatalf("parallel threads=4 run did not converge correctly: %+v", res)
+	}
+}
+
+// TestParamsThreadsValidation: negative thread counts are rejected at
+// both validation and construction.
+func TestParamsThreadsValidation(t *testing.T) {
+	p := DefaultParams(0.3)
+	p.Threads = -1
+	if err := p.Validate(); err == nil {
+		t.Fatal("Validate accepted Threads=-1")
+	}
+	nm, err := noise.Uniform(2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := model.NewEngine(10, nm, model.ProcessO, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := New(eng, p); err == nil {
+		t.Fatal("New accepted Threads=-1")
+	}
+}
+
+// TestParamsThreadsReachesPrebuiltParallelEngine: when the engine was
+// already built with the parallel backend and Params names no backend,
+// an explicit Params.Threads must still pin the chunk count — the
+// determinism key cannot silently fall back to GOMAXPROCS.
+func TestParamsThreadsReachesPrebuiltParallelEngine(t *testing.T) {
+	nm, err := noise.Uniform(2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng, err := model.NewEngineWithBackend(100, nm, model.ProcessO, rng.New(1), model.ParallelBackend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams(0.3)
+	params.Threads = 2
+	p, err := New(eng, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.threads != 2 {
+		t.Fatalf("protocol threads = %d, want 2", p.threads)
+	}
+	pb, ok := eng.Backend().(model.ParallelBackend)
+	if !ok || pb.Threads != 2 {
+		t.Fatalf("engine backend = %#v, want ParallelBackend{Threads: 2}", eng.Backend())
+	}
+}

@@ -58,13 +58,22 @@ type Params struct {
 	// lets the amplification margin be tuned without lengthening every
 	// phase. It does not change the O(log n/ε²) total.
 	Stage2ExtraPhases int
-	// Backend selects the model sampling backend by name ("loop" or
-	// "batch"; see model.BackendByName). The empty string leaves the
-	// engine's backend untouched, which defaults to the per-message
-	// loop reference. Backends are statistically equivalent; "batch"
-	// samples each phase's deliveries in aggregate and is the fast
-	// path for large n.
+	// Backend selects the model sampling backend by name ("loop",
+	// "batch" or "parallel"; see model.BackendByName). The empty
+	// string leaves the engine's backend untouched, which defaults to
+	// the per-message loop reference. Backends are statistically
+	// equivalent; "batch" samples each phase's deliveries in aggregate
+	// and is the fast path for large n, and "parallel" spreads the
+	// batch sampling (and the protocol's per-node phase-end loops)
+	// over worker goroutines.
 	Backend string
+	// Threads bounds the per-phase worker parallelism of the
+	// "parallel" backend; 0 means GOMAXPROCS, 1 is bit-identical to
+	// "batch". Other backends ignore it. The value is part of the
+	// determinism key: for a fixed (seed, backend, Threads) a run is
+	// reproducible regardless of scheduling, but different thread
+	// counts consume the random stream differently.
+	Threads int
 }
 
 // DefaultParams returns the documented default constants for a given
@@ -105,6 +114,9 @@ func (p Params) Validate() error {
 	}
 	if _, err := model.BackendByName(p.Backend); err != nil {
 		return err
+	}
+	if p.Threads < 0 {
+		return fmt.Errorf("core: Threads must be ≥ 0, got %d", p.Threads)
 	}
 	return nil
 }

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 	"math/bits"
+	"sync"
 
 	"github.com/gossipkit/noisyrumor/internal/dist"
 	"github.com/gossipkit/noisyrumor/internal/model"
@@ -62,6 +63,10 @@ type Protocol struct {
 	params Params
 	sched  Schedule
 	trace  bool
+	// threads is the per-phase worker count for the phase-end per-node
+	// loops; it mirrors the engine's parallel-backend chunking and is 1
+	// (serial, the historical code path) for every other backend.
+	threads int
 
 	ops        []model.Opinion
 	sampleBuf  []int
@@ -78,19 +83,44 @@ func New(engine *model.Engine, params Params) (*Protocol, error) {
 	if err != nil {
 		return nil, err
 	}
+	if params.Threads < 0 {
+		return nil, fmt.Errorf("core: Threads must be ≥ 0, got %d", params.Threads)
+	}
 	// A named backend in Params overrides whatever the engine was
 	// built with; the empty string leaves the engine's choice alone.
+	// Params.Threads rides along into the parallel backend.
 	if params.Backend != "" {
 		b, err := model.BackendByName(params.Backend)
 		if err != nil {
 			return nil, err
 		}
+		if pb, ok := b.(model.ParallelBackend); ok {
+			pb.Threads = params.Threads
+			b = pb
+		}
 		engine.SetBackend(b)
+	} else if params.Threads > 0 {
+		// No named backend, but an explicit thread count: apply it to an
+		// engine pre-built with the parallel backend, so Params.Threads
+		// pins the determinism key either way.
+		if pb, ok := engine.Backend().(model.ParallelBackend); ok && pb.Threads != params.Threads {
+			pb.Threads = params.Threads
+			engine.SetBackend(pb)
+		}
+	}
+	// The phase-end per-node loops (Stage-1 adoption, Stage-2
+	// subsampling) parallelize exactly when the engine samples phases
+	// in parallel; under loop/batch they stay serial and bit-identical
+	// to the historical stream consumption.
+	threads := 1
+	if pb, ok := engine.Backend().(model.ParallelBackend); ok {
+		threads = pb.EffectiveThreads(engine.N())
 	}
 	return &Protocol{
 		engine:    engine,
 		params:    params,
 		sched:     sched,
+		threads:   threads,
 		ops:       make([]model.Opinion, engine.N()),
 		sampleBuf: make([]int, engine.K()),
 	}, nil
@@ -202,6 +232,17 @@ func (p *Protocol) runStage1Phase(rounds int) error {
 	}
 	p.noteCounters(res)
 	k := res.K
+	if p.threads > 1 {
+		p.forEachChunk(func(lo, hi int, r *rng.Rand) {
+			for u := lo; u < hi; u++ {
+				if p.ops[u] != model.Undecided || res.Total[u] == 0 {
+					continue
+				}
+				p.ops[u] = pickProportional(r, res.Counts[u*k:(u+1)*k], int(res.Total[u]))
+			}
+		})
+		return nil
+	}
 	r := p.engine.Rand()
 	for u := range p.ops {
 		if p.ops[u] != model.Undecided || res.Total[u] == 0 {
@@ -227,6 +268,21 @@ func (p *Protocol) runStage2Phase(ph Stage2Phase) error {
 	}
 	p.noteCounters(res)
 	k := res.K
+	if p.threads > 1 {
+		p.forEachChunk(func(lo, hi int, r *rng.Rand) {
+			buf := make([]int, k)
+			for u := lo; u < hi; u++ {
+				total := int(res.Total[u])
+				if total < ph.SampleSize {
+					continue
+				}
+				counts := res.Counts[u*k : (u+1)*k]
+				sample := dist.SampleMultisetWithoutReplacement(r, counts, ph.SampleSize, buf)
+				p.ops[u] = majority(r, sample)
+			}
+		})
+		return nil
+	}
 	r := p.engine.Rand()
 	for u := range p.ops {
 		total := int(res.Total[u])
@@ -238,6 +294,27 @@ func (p *Protocol) runStage2Phase(ph Stage2Phase) error {
 		p.ops[u] = majority(r, sample)
 	}
 	return nil
+}
+
+// forEachChunk runs fn concurrently over p.threads contiguous node
+// chunks. Each chunk receives its own deterministic random stream,
+// forked from a single word drawn serially from the engine stream —
+// the word keys the fork by phase (stream position), the fork index
+// keys it by chunk — so the outcome depends only on (seed, backend,
+// threads), never on goroutine scheduling. Chunks own disjoint ranges
+// of p.ops, so fn needs no synchronization.
+func (p *Protocol) forEachChunk(fn func(lo, hi int, r *rng.Rand)) {
+	phaseSeed := p.engine.Rand().Uint64()
+	bounds := model.ChunkBounds(p.engine.N(), p.threads)
+	var wg sync.WaitGroup
+	for c := 0; c+1 < len(bounds); c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			fn(bounds[c], bounds[c+1], rng.New(rng.ForkSeed(phaseSeed, uint64(c))))
+		}(c)
+	}
+	wg.Wait()
 }
 
 // noteCounters tracks the largest per-node message count of any phase,

@@ -5,11 +5,12 @@ import (
 	"strings"
 
 	"github.com/gossipkit/noisyrumor/internal/dist"
+	"github.com/gossipkit/noisyrumor/internal/rng"
 )
 
 // Backend is a sampling strategy for one phase of the push model: how
 // the engine turns "these nodes push these opinions for `rounds`
-// rounds" into per-node delivery counts. Both shipped backends draw
+// rounds" into per-node delivery counts. All shipped backends draw
 // from exactly the same phase distribution for every process (O, B
 // and P); they differ only in cost and in how they consume the random
 // stream:
@@ -19,6 +20,9 @@ import (
 //   - BatchBackend samples each phase's delivery counts in aggregate —
 //     O(n·k + messages-capped-at-n) per phase, independent of the
 //     number of rounds — and is the fast path for large populations.
+//   - ParallelBackend (parallel.go) is BatchBackend spread over worker
+//     goroutines via an exact multinomial chunk split, the fast path
+//     on multi-core hosts.
 //
 // The interface is sealed (the runPhase method is unexported): the
 // engine's buffers are an implementation detail of this package.
@@ -31,7 +35,7 @@ type Backend interface {
 }
 
 // Backends lists the available backends in flag/documentation order.
-func Backends() []Backend { return []Backend{LoopBackend{}, BatchBackend{}} }
+func Backends() []Backend { return []Backend{LoopBackend{}, BatchBackend{}, ParallelBackend{}} }
 
 // BackendNames lists the accepted -backend flag values.
 func BackendNames() []string {
@@ -50,6 +54,8 @@ func BackendByName(name string) (Backend, error) {
 		return LoopBackend{}, nil
 	case "batch":
 		return BatchBackend{}, nil
+	case "parallel":
+		return ParallelBackend{}, nil
 	default:
 		return nil, fmt.Errorf("model: unknown backend %q (have %s)",
 			name, strings.Join(BackendNames(), ", "))
@@ -109,7 +115,7 @@ func loopPhaseB(e *Engine, ops []Opinion, rounds int) int {
 	sent := e.phaseSent(ops, rounds)
 	e.applyNoiseBulk()
 	for j, g := range e.recvBuf {
-		scatterDense(e, j, g)
+		scatterDense(e, e.r, j, g, 0, e.n)
 	}
 	return sent
 }
@@ -169,53 +175,58 @@ func (BatchBackend) runPhase(e *Engine, ops []Opinion, rounds int) int {
 	switch e.proc {
 	case ProcessO, ProcessB:
 		for j, g := range e.recvBuf {
-			scatterUniform(e, j, g)
+			scatterUniform(e, e.r, j, g, 0, e.n)
 		}
 	default: // ProcessP
 		for j, g := range e.recvBuf {
 			if g == 0 {
 				continue
 			}
-			scatterUniform(e, j, dist.SamplePoisson(e.r, float64(g)))
+			scatterUniform(e, e.r, j, dist.SamplePoisson(e.r, float64(g)), 0, e.n)
 		}
 	}
 	return sent
 }
 
 // scatterUniform distributes g opinion-j messages uniformly at random
-// over the n nodes — one multinomial(g; 1/n, …, 1/n) occupancy draw.
-// Two exact strategies, chosen by density:
+// over the nodes [lo, hi) — one multinomial(g; 1/m, …, 1/m) occupancy
+// draw over the m = hi−lo bins, consuming variates from r. Two exact
+// strategies, chosen by density:
 //
-//   - sparse (g < n/2): throw each ball individually, O(g);
-//   - dense: sequential conditional binomials over the bins, O(n)
+//   - sparse (g < m/2): throw each ball individually, O(g);
+//   - dense: sequential conditional binomials over the bins, O(m)
 //     draws each of O(1) expected cost (dist.SampleBinomial switches
 //     to BTRS rejection once the local mean is large), so long phases
 //     cost the same as short ones.
-func scatterUniform(e *Engine, j, g int) {
-	if g < e.n/2 {
+//
+// The serial backends call it with (e.r, 0, e.n); the parallel backend
+// calls it per node-chunk with a fork-derived stream.
+func scatterUniform(e *Engine, r *rng.Rand, j, g, lo, hi int) {
+	m := hi - lo
+	if g < m/2 {
 		if g <= 0 {
 			return
 		}
-		un := uint64(e.n)
+		um := uint64(m)
 		for i := 0; i < g; i++ {
-			t := int(e.r.Uint64n(un))
+			t := lo + int(r.Uint64n(um))
 			e.counts[t*e.k+j]++
 			e.total[t]++
 		}
 		return
 	}
-	scatterDense(e, j, g)
+	scatterDense(e, r, j, g, lo, hi)
 }
 
 // scatterDense draws the multinomial occupancy of g opinion-j balls
-// over the n bins with sequential conditional binomials — Definition
-// 3's balls-into-bins step, shared by the loop backend's process B and
-// the batch backend's dense regime.
-func scatterDense(e *Engine, j, g int) {
+// over the bins [lo, hi) with sequential conditional binomials —
+// Definition 3's balls-into-bins step, shared by the loop backend's
+// process B and the batch/parallel backends' dense regime.
+func scatterDense(e *Engine, r *rng.Rand, j, g, lo, hi int) {
 	remaining := g
-	n, k := e.n, e.k
-	for u := 0; u < n-1 && remaining > 0; u++ {
-		c := dist.SampleBinomial(e.r, remaining, 1/float64(n-u))
+	k := e.k
+	for u := lo; u < hi-1 && remaining > 0; u++ {
+		c := dist.SampleBinomial(r, remaining, 1/float64(hi-u))
 		if c > 0 {
 			e.counts[u*k+j] += int32(c)
 			e.total[u] += int32(c)
@@ -223,7 +234,7 @@ func scatterDense(e *Engine, j, g int) {
 		}
 	}
 	if remaining > 0 {
-		u := n - 1
+		u := hi - 1
 		e.counts[u*k+j] += int32(remaining)
 		e.total[u] += int32(remaining)
 	}

@@ -203,11 +203,13 @@ func TestBackendDeterminism(t *testing.T) {
 
 func TestBackendByName(t *testing.T) {
 	for name, want := range map[string]string{
-		"":      "loop",
-		"loop":  "loop",
-		"LOOP":  "loop",
-		"batch": "batch",
-		"Batch": "batch",
+		"":         "loop",
+		"loop":     "loop",
+		"LOOP":     "loop",
+		"batch":    "batch",
+		"Batch":    "batch",
+		"parallel": "parallel",
+		"Parallel": "parallel",
 	} {
 		b, err := BackendByName(name)
 		if err != nil {
@@ -221,7 +223,7 @@ func TestBackendByName(t *testing.T) {
 		t.Fatal("bogus backend accepted")
 	}
 	names := BackendNames()
-	if len(names) != 2 || names[0] != "loop" || names[1] != "batch" {
+	if len(names) != 3 || names[0] != "loop" || names[1] != "batch" || names[2] != "parallel" {
 		t.Fatalf("BackendNames() = %v", names)
 	}
 }

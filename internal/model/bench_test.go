@@ -72,3 +72,26 @@ func BenchmarkPhaseBatchProcessOLargeN(b *testing.B) {
 func BenchmarkPhaseBatchHuge(b *testing.B) {
 	benchPhaseBackend(b, BatchBackend{}, ProcessO, 10_000_000, 114)
 }
+
+// BenchmarkPhaseParallel* run the multi-core backend on the same
+// workloads as the batch benchmarks: the exact multinomial chunk split
+// spreads each phase over worker goroutines, so per-phase wall time
+// should fall by ~#cores on multi-core hosts (Threads: 0 =
+// GOMAXPROCS; on a single-core host these match batch).
+func BenchmarkPhaseParallelProcessO(b *testing.B) {
+	benchPhaseBackend(b, ParallelBackend{}, ProcessO, 10000, 32)
+}
+
+func BenchmarkPhaseParallelProcessP(b *testing.B) {
+	benchPhaseBackend(b, ParallelBackend{}, ProcessP, 10000, 32)
+}
+
+func BenchmarkPhaseParallelProcessOLargeN(b *testing.B) {
+	benchPhaseBackend(b, ParallelBackend{}, ProcessO, 100000, 8)
+}
+
+// BenchmarkPhaseParallelHuge is BenchmarkPhaseBatchHuge on the
+// parallel backend — the headline intra-phase speedup measurement.
+func BenchmarkPhaseParallelHuge(b *testing.B) {
+	benchPhaseBackend(b, ParallelBackend{}, ProcessO, 10_000_000, 114)
+}

@@ -2,6 +2,7 @@ package model
 
 import (
 	"fmt"
+	"math"
 
 	"github.com/gossipkit/noisyrumor/internal/dist"
 	"github.com/gossipkit/noisyrumor/internal/noise"
@@ -88,6 +89,9 @@ func NewEngine(n int, nm *noise.Matrix, proc Process, r *rng.Rand) (*Engine, err
 		return nil, fmt.Errorf("model: unknown process %d", int(proc))
 	}
 	k := nm.K()
+	if k > 0 && n > math.MaxInt/k {
+		return nil, fmt.Errorf("model: NewEngine with n=%d, k=%d: count buffer of n·k entries overflows int", n, k)
+	}
 	e := &Engine{
 		n:       n,
 		k:       k,
@@ -154,6 +158,9 @@ func (e *Engine) RunPhase(ops []Opinion, rounds int) (PhaseResult, error) {
 	if rounds < 0 {
 		return PhaseResult{}, fmt.Errorf("model: RunPhase with %d rounds", rounds)
 	}
+	if err := e.checkPhaseBudget(ops, rounds); err != nil {
+		return PhaseResult{}, err
+	}
 	for i := range e.counts {
 		e.counts[i] = 0
 	}
@@ -162,6 +169,50 @@ func (e *Engine) RunPhase(ops []Opinion, rounds int) (PhaseResult, error) {
 	}
 	sent := e.backend.runPhase(e, ops, rounds)
 	return PhaseResult{Counts: e.counts, Total: e.total, Sent: sent, K: e.k}, nil
+}
+
+// maxPhaseNodeBudget caps the expected per-node deliveries of a phase
+// whose total message count exceeds the int32 counter range. The 64×
+// headroom below math.MaxInt32 makes a counter wrap require a single
+// node to receive 64 times its expectation — a Binomial/Poisson tail
+// of probability exp(−Ω(mean)), beyond astronomically small for any
+// phase this guard admits (mean > 2³¹/n).
+const maxPhaseNodeBudget = math.MaxInt32 / 64
+
+// checkPhaseBudget rejects phases whose message volume could silently
+// wrap the engine's int32 per-node counters (e.g. n=2 with rounds >
+// 2³¹). A phase pushes opinionated·rounds messages. Under processes O
+// and B every pushed message is delivered exactly once (conservation),
+// so no counter can exceed the total and any budget ≤ math.MaxInt32
+// is unconditionally safe. Process P has no conservation — deliveries
+// are Poisson with the budget as their total mean — so it gets no
+// fast path and must always satisfy the per-node rule. Budgets beyond
+// those bounds — routine at n = 10⁷, where phases push ~10¹⁰ messages
+// spread thinly — are safe exactly when the per-node expectation
+// stays far below the counter range, which maxPhaseNodeBudget
+// enforces for the binomial (O/B) and Poisson (P) tails alike.
+func (e *Engine) checkPhaseBudget(ops []Opinion, rounds int) error {
+	opinionated := 0
+	for _, op := range ops {
+		if op != Undecided {
+			opinionated++
+		}
+	}
+	if opinionated == 0 || rounds == 0 {
+		return nil
+	}
+	if int64(rounds) > math.MaxInt64/int64(opinionated) {
+		return fmt.Errorf("model: phase budget %d pushers × %d rounds overflows int64", opinionated, rounds)
+	}
+	budget := int64(opinionated) * int64(rounds)
+	if e.proc != ProcessP && budget <= math.MaxInt32 {
+		return nil
+	}
+	if perNode := budget / int64(e.n); perNode > maxPhaseNodeBudget {
+		return fmt.Errorf("model: phase budget %d messages ≈ %d per node would overflow int32 delivery counters (max safe %d per node)",
+			budget, perNode, int64(maxPhaseNodeBudget))
+	}
+	return nil
 }
 
 // phaseSent tallies how many messages of each opinion are pushed over

@@ -1,0 +1,145 @@
+package model
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// TestPhaseBudgetGuard is the regression test for the silent int32
+// wrap the seed carried: n=2 with rounds > 2³¹ used to wrap per-node
+// counters without error. The guard must reject such phases up front,
+// for every backend, without running them.
+func TestPhaseBudgetGuard(t *testing.T) {
+	nm, err := noise.Uniform(2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []Opinion{0, 1}
+	for _, b := range Backends() {
+		e, err := NewEngineWithBackend(2, nm, ProcessO, rng.New(1), b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// 2 pushers × 2³¹ rounds ≈ 2³² messages over 2 nodes: ~2³¹ per
+		// node, guaranteed to wrap int32 counters if allowed to run.
+		_, err = e.RunPhase(ops, 1<<31)
+		if err == nil {
+			t.Fatalf("backend %v: phase with 2·2³¹ message budget accepted", b)
+		}
+		if !strings.Contains(err.Error(), "overflow") {
+			t.Fatalf("backend %v: unexpected error %v", b, err)
+		}
+	}
+}
+
+// TestPhaseBudgetGuardInt64Overflow: the budget computation itself
+// must not wrap — pusher-count × rounds beyond int64 is rejected, not
+// silently truncated.
+func TestPhaseBudgetGuardInt64Overflow(t *testing.T) {
+	nm, err := noise.Uniform(2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := NewEngine(2, nm, ProcessO, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunPhase([]Opinion{0, 1}, math.MaxInt64/2+1); err == nil {
+		t.Fatal("int64-overflowing phase budget accepted")
+	}
+}
+
+// TestPhaseBudgetGuardAllowsThinBudgets: budgets beyond int32 are fine
+// when spread thinly — the n=10⁷-style regime where a phase pushes
+// ~10¹⁰ messages but each node only sees ~10³ must keep working. Here
+// n=1000 pushers run enough rounds to exceed 2³¹ total messages while
+// the per-node expectation stays ≈ 2.2·10⁶, far inside int32.
+func TestPhaseBudgetGuardAllowsThinBudgets(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-billion-message phase")
+	}
+	nm, err := noise.Uniform(2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1000
+	rounds := int(math.MaxInt32/n) + 2 // budget = n·rounds > MaxInt32
+	e, err := NewEngineWithBackend(n, nm, ProcessO, rng.New(9), BatchBackend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := make([]Opinion, n)
+	for i := range ops {
+		ops[i] = Opinion(i % 2)
+	}
+	res, err := e.RunPhase(ops, rounds)
+	if err != nil {
+		t.Fatalf("thin %d-message budget rejected: %v", int64(n)*int64(rounds), err)
+	}
+	var delivered int64
+	for _, c := range res.Counts {
+		if c < 0 {
+			t.Fatal("negative count: counter wrapped")
+		}
+		delivered += int64(c)
+	}
+	if delivered != int64(n)*int64(rounds) {
+		t.Fatalf("delivered %d != sent %d", delivered, int64(n)*int64(rounds))
+	}
+}
+
+// TestNewEngineBufferOverflowGuard: n·k count-buffer allocations that
+// would overflow int must be rejected at construction.
+func TestNewEngineBufferOverflowGuard(t *testing.T) {
+	nm, err := noise.Uniform(3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(math.MaxInt/2, nm, ProcessO, rng.New(1)); err == nil {
+		t.Fatal("n·k overflow accepted")
+	}
+}
+
+// TestPhaseBudgetGuardProcessP: process P has no conservation — its
+// deliveries are Poisson with the budget as total mean — so the
+// "budget ≤ MaxInt32 is safe" fast path must not apply. A tiny-n P
+// phase whose budget squeaks under MaxInt32 but concentrates ~2³⁰
+// expected messages on each node must be rejected, while the same
+// phase under O (conservation-bounded, int32-safe) stays legal.
+func TestPhaseBudgetGuardProcessP(t *testing.T) {
+	nm, err := noise.Uniform(2, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ops := []Opinion{0, Undecided} // one pusher: budget = rounds ≤ MaxInt32
+	rounds := math.MaxInt32
+	eP, err := NewEngineWithBackend(2, nm, ProcessP, rng.New(1), BatchBackend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := eP.RunPhase(ops, rounds); err == nil {
+		t.Fatal("ProcessP phase with ~2³⁰ expected messages per node accepted")
+	}
+	eO, err := NewEngineWithBackend(2, nm, ProcessO, rng.New(1), BatchBackend{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eO.RunPhase(ops, rounds)
+	if err != nil {
+		t.Fatalf("conservation-safe ProcessO phase rejected: %v", err)
+	}
+	delivered := int64(0)
+	for _, c := range res.Counts {
+		if c < 0 {
+			t.Fatal("counter wrapped")
+		}
+		delivered += int64(c)
+	}
+	if delivered != int64(rounds) {
+		t.Fatalf("delivered %d != sent %d", delivered, rounds)
+	}
+}

@@ -1,0 +1,137 @@
+package model
+
+import (
+	"runtime"
+	"sync"
+
+	"github.com/gossipkit/noisyrumor/internal/dist"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// ParallelBackend is BatchBackend's multi-core form: the same exact
+// aggregate phase law, with each color's delivery scatter and the
+// dense per-bin work spread over Threads worker goroutines.
+//
+// The decomposition is exact, by the same argument that couples the
+// paper's processes (Claim 1, Definitions 3–4): a multinomial
+// occupancy draw of g balls over n bins factors into
+//
+//  1. one multinomial(g; m_0/n, …, m_{P−1}/n) draw splitting g across
+//     the P node-chunks (chunk c holds m_c contiguous nodes), then
+//  2. P independent uniform occupancy draws, chunk c scattering its
+//     share over its own m_c bins.
+//
+// For process P the chunk split needs no parent-stream coordination at
+// all: Poisson(g) split multinomially over chunks is the same law as
+// independent Poisson(g·m_c/n) totals per chunk (Poisson thinning), so
+// each chunk draws its own total.
+//
+// Determinism contract: the phase outcome depends only on (seed,
+// backend, Threads), never on goroutine scheduling. Step 1 runs on the
+// parent stream in color order; every concurrent scatter consumes a
+// child stream forked deterministically from one per-phase seed word,
+// keyed by (color, chunk); and chunks write disjoint node ranges of
+// e.counts/e.total, so no synchronization beyond the phase barrier is
+// needed. Threads == 1 delegates to BatchBackend verbatim and is
+// bit-identical to it for a fixed seed.
+type ParallelBackend struct {
+	// Threads is the number of node-chunks (and worker goroutines) per
+	// phase; 0 selects runtime.GOMAXPROCS(0). The value is part of the
+	// determinism key: different thread counts consume the random
+	// stream differently (statistically equivalent, not bit-identical).
+	Threads int
+}
+
+// String names the backend for flags and tables.
+func (ParallelBackend) String() string { return "parallel" }
+
+// threads resolves the effective chunk count for a population of n
+// nodes: the configured Threads (0 → GOMAXPROCS), capped so every
+// chunk holds at least one node.
+func (pb ParallelBackend) threads(n int) int {
+	p := pb.Threads
+	if p <= 0 {
+		p = runtime.GOMAXPROCS(0)
+	}
+	if p > n {
+		p = n
+	}
+	if p < 1 {
+		p = 1
+	}
+	return p
+}
+
+// EffectiveThreads exposes the resolved chunk count for a population
+// of n nodes, so callers that mirror the engine's chunking (the
+// protocol's per-node phase-end loops) use the same worker count.
+func (pb ParallelBackend) EffectiveThreads(n int) int { return pb.threads(n) }
+
+// ChunkBounds returns p+1 node offsets splitting [0, n) into p
+// contiguous chunks whose sizes differ by at most one.
+func ChunkBounds(n, p int) []int {
+	bounds := make([]int, p+1)
+	for c := 0; c <= p; c++ {
+		bounds[c] = c * n / p
+	}
+	return bounds
+}
+
+func (pb ParallelBackend) runPhase(e *Engine, ops []Opinion, rounds int) int {
+	p := pb.threads(e.n)
+	if p == 1 {
+		// One chunk is exactly the serial batch law and stream: keep the
+		// -threads 1 path bit-identical to BatchBackend.
+		return BatchBackend{}.runPhase(e, ops, rounds)
+	}
+	sent := e.phaseSent(ops, rounds)
+	e.applyNoiseBulk()
+
+	// One parent-stream word seeds every fork of the phase; the fork
+	// index encodes (color, chunk), so child streams are keyed by
+	// (phase, color, chunk) as the determinism contract requires.
+	phaseSeed := e.r.Uint64()
+	bounds := ChunkBounds(e.n, p)
+
+	// Exact chunk split on the parent stream (processes O and B).
+	// split[j*p+c] is color j's share for chunk c.
+	var split []int
+	if e.proc != ProcessP {
+		probs := make([]float64, p)
+		for c := 0; c < p; c++ {
+			probs[c] = float64(bounds[c+1] - bounds[c])
+		}
+		split = make([]int, e.k*p)
+		for j, g := range e.recvBuf {
+			if g > 0 {
+				dist.SampleMultinomial(e.r, g, probs, split[j*p:(j+1)*p])
+			}
+		}
+	}
+
+	var wg sync.WaitGroup
+	for c := 0; c < p; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			lo, hi := bounds[c], bounds[c+1]
+			if e.proc != ProcessP {
+				for j := 0; j < e.k; j++ {
+					r := rng.New(rng.ForkSeed(phaseSeed, uint64(j*p+c)))
+					scatterUniform(e, r, j, split[j*p+c], lo, hi)
+				}
+				return
+			}
+			frac := float64(hi-lo) / float64(e.n)
+			for j, g := range e.recvBuf {
+				if g == 0 {
+					continue
+				}
+				r := rng.New(rng.ForkSeed(phaseSeed, uint64(j*p+c)))
+				scatterUniform(e, r, j, dist.SamplePoisson(r, float64(g)*frac), lo, hi)
+			}
+		}(c)
+	}
+	wg.Wait()
+	return sent
+}

@@ -1,0 +1,243 @@
+package model
+
+import (
+	"fmt"
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/dist"
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// phaseCounts runs one phase on a fresh engine and returns a copy of
+// the per-node per-opinion counts.
+func phaseCounts(t *testing.T, b Backend, proc Process, nm *noise.Matrix,
+	seed uint64, n, pushers, rounds int) []int32 {
+
+	t.Helper()
+	e, err := NewEngineWithBackend(n, nm, proc, rng.New(seed), b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := nm.K()
+	ops := make([]Opinion, n)
+	for i := range ops {
+		if i < pushers {
+			ops[i] = Opinion(i % k)
+		} else {
+			ops[i] = Undecided
+		}
+	}
+	res, err := e.RunPhase(ops, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append([]int32(nil), res.Counts...)
+}
+
+// TestParallelThreads1MatchesBatch is the acceptance contract of the
+// parallel backend: with one thread it must consume the random stream
+// exactly like BatchBackend, so a fixed seed yields bit-identical
+// phase output, for every process and in both scatter regimes.
+func TestParallelThreads1MatchesBatch(t *testing.T) {
+	nm, err := noise.Uniform(3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	regimes := []struct {
+		name              string
+		n, pushers, round int
+	}{
+		{"dense", 3000, 2000, 8},
+		{"sparse", 3000, 100, 1},
+	}
+	for _, proc := range []Process{ProcessO, ProcessB, ProcessP} {
+		for _, reg := range regimes {
+			batch := phaseCounts(t, BatchBackend{}, proc, nm, 77, reg.n, reg.pushers, reg.round)
+			par := phaseCounts(t, ParallelBackend{Threads: 1}, proc, nm, 77, reg.n, reg.pushers, reg.round)
+			for i := range batch {
+				if batch[i] != par[i] {
+					t.Fatalf("%v/%s: threads=1 diverges from batch at index %d: %d != %d",
+						proc, reg.name, i, batch[i], par[i])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelDeterminism: for each fixed thread count, the phase
+// output depends only on the seed — two fresh engines agree bitwise —
+// regardless of goroutine scheduling. Running under -race in CI also
+// proves the chunk fan-out is data-race-free.
+func TestParallelDeterminism(t *testing.T) {
+	nm, err := noise.Uniform(3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{2, 4, 8} {
+		for _, proc := range []Process{ProcessO, ProcessB, ProcessP} {
+			b := ParallelBackend{Threads: threads}
+			a := phaseCounts(t, b, proc, nm, 555, 4000, 2500, 6)
+			bb := phaseCounts(t, b, proc, nm, 555, 4000, 2500, 6)
+			for i := range a {
+				if a[i] != bb[i] {
+					t.Fatalf("threads=%d proc=%v: nondeterministic at index %d", threads, proc, i)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelConservation: the exact chunk split must conserve every
+// message — under O and B the delivered total equals the pushed total
+// for any thread count, in both scatter regimes.
+func TestParallelConservation(t *testing.T) {
+	nm, err := noise.Uniform(3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, threads := range []int{2, 3, 4, 7} {
+		for _, proc := range []Process{ProcessO, ProcessB} {
+			for _, reg := range []struct{ n, pushers, rounds int }{
+				{301, 300, 9}, // dense
+				{900, 30, 1},  // sparse
+			} {
+				e, err := NewEngineWithBackend(reg.n, nm, proc, rng.New(3), ParallelBackend{Threads: threads})
+				if err != nil {
+					t.Fatal(err)
+				}
+				ops := make([]Opinion, reg.n)
+				for i := range ops {
+					if i < reg.pushers {
+						ops[i] = Opinion(i % 3)
+					} else {
+						ops[i] = Undecided
+					}
+				}
+				res, err := e.RunPhase(ops, reg.rounds)
+				if err != nil {
+					t.Fatal(err)
+				}
+				delivered := 0
+				for _, c := range res.Counts {
+					if c < 0 {
+						t.Fatalf("threads=%d %v: negative count", threads, proc)
+					}
+					delivered += int(c)
+				}
+				if delivered != res.Sent {
+					t.Fatalf("threads=%d %v n=%d: delivered %d != sent %d",
+						threads, proc, reg.n, delivered, res.Sent)
+				}
+				totalSum := 0
+				for _, v := range res.Total {
+					totalSum += int(v)
+				}
+				if totalSum != delivered {
+					t.Fatalf("threads=%d %v: Total %d disagrees with Counts %d",
+						threads, proc, totalSum, delivered)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelEquivalence pins the parallel backend to the serial
+// batch law: for every process and noise matrix, per-node delivery
+// histograms from BatchBackend and ParallelBackend{4} must be
+// statistically indistinguishable (the chunk decomposition is provably
+// exact; the chi-square test catches implementation bugs).
+func TestParallelEquivalence(t *testing.T) {
+	uniform, err := noise.Uniform(3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	matrices := []struct {
+		name string
+		nm   *noise.Matrix
+	}{
+		{"uniform", uniform},
+		{"nonuniform", nonUniformMatrix(t)},
+	}
+	regimes := []struct {
+		name              string
+		n, pushers, round int
+	}{
+		{"dense", 4000, 2666, 8},
+		{"sparse", 4000, 150, 1},
+	}
+	const maxBin = 30
+	seed := uint64(4000)
+	for _, m := range matrices {
+		for _, proc := range []Process{ProcessO, ProcessB, ProcessP} {
+			for _, reg := range regimes {
+				seed += 17
+				tBatch, oBatch := backendPhaseHistograms(t, BatchBackend{}, proc, m.nm,
+					seed, reg.n, reg.pushers, reg.round, maxBin)
+				tPar, oPar := backendPhaseHistograms(t, ParallelBackend{Threads: 4}, proc, m.nm,
+					seed+1, reg.n, reg.pushers, reg.round, maxBin)
+				rt, err := dist.ChiSquareTwoSample(tBatch, tPar, 5)
+				if err != nil {
+					t.Fatalf("%s/%v/%s totals: %v", m.name, proc, reg.name, err)
+				}
+				if rt.PValue < 1e-5 {
+					t.Errorf("%s/%v/%s: totals distinguishable, X²=%v df=%d p=%v",
+						m.name, proc, reg.name, rt.Statistic, rt.DF, rt.PValue)
+				}
+				ro, err := dist.ChiSquareTwoSample(oBatch, oPar, 5)
+				if err != nil {
+					t.Fatalf("%s/%v/%s op0: %v", m.name, proc, reg.name, err)
+				}
+				if ro.PValue < 1e-5 {
+					t.Errorf("%s/%v/%s: opinion-0 counts distinguishable, X²=%v df=%d p=%v",
+						m.name, proc, reg.name, ro.Statistic, ro.DF, ro.PValue)
+				}
+			}
+		}
+	}
+}
+
+// TestChunkBounds: the chunk layout must cover [0, n) exactly with
+// monotone boundaries and near-equal sizes.
+func TestChunkBounds(t *testing.T) {
+	for _, tc := range []struct{ n, p int }{
+		{1, 1}, {2, 2}, {7, 3}, {100, 8}, {10_000, 7}, {5, 5},
+	} {
+		t.Run(fmt.Sprintf("n=%d,p=%d", tc.n, tc.p), func(t *testing.T) {
+			b := ChunkBounds(tc.n, tc.p)
+			if len(b) != tc.p+1 || b[0] != 0 || b[tc.p] != tc.n {
+				t.Fatalf("bounds %v do not span [0,%d)", b, tc.n)
+			}
+			minSize, maxSize := tc.n, 0
+			for c := 0; c < tc.p; c++ {
+				size := b[c+1] - b[c]
+				if size < 1 {
+					t.Fatalf("chunk %d empty: bounds %v", c, b)
+				}
+				if size < minSize {
+					minSize = size
+				}
+				if size > maxSize {
+					maxSize = size
+				}
+			}
+			if maxSize-minSize > 1 {
+				t.Fatalf("chunk sizes unbalanced (%d..%d): %v", minSize, maxSize, b)
+			}
+		})
+	}
+}
+
+// TestParallelThreadsResolution: Threads=0 must resolve to a positive
+// worker count and tiny populations must cap chunks at n.
+func TestParallelThreadsResolution(t *testing.T) {
+	if got := (ParallelBackend{}).threads(100); got < 1 {
+		t.Fatalf("threads(100) with Threads=0 resolved to %d", got)
+	}
+	if got := (ParallelBackend{Threads: 16}).threads(3); got != 3 {
+		t.Fatalf("threads(3) with Threads=16 = %d, want 3", got)
+	}
+	if got := (ParallelBackend{Threads: 4}).threads(100); got != 4 {
+		t.Fatalf("threads(100) with Threads=4 = %d, want 4", got)
+	}
+}

@@ -8,7 +8,7 @@ import (
 
 // Report is the rendered outcome of one experiment.
 type Report struct {
-	// ID is the experiment identifier (E1…E14).
+	// ID is the experiment identifier (E1…E19).
 	ID string
 	// Title is a one-line description.
 	Title string

@@ -4,26 +4,36 @@ import "testing"
 
 // TestExperimentGoldenAcrossWorkerCounts is the determinism contract
 // end to end: a full experiment's rendered report must be bitwise
-// identical whether its trials run on one worker or eight. Runs under
-// -race in CI, so it also proves the worker fan-out is data-race-free.
+// identical whether its trials run on one worker or eight — for the
+// parallel backend, whatever the trial fan-out, with the intra-phase
+// thread count pinned (it is part of the determinism key). Runs under
+// -race in CI, so it also proves both the worker fan-out and the
+// intra-phase chunk fan-out are data-race-free.
 func TestExperimentGoldenAcrossWorkerCounts(t *testing.T) {
 	e, ok := ByID("E1")
 	if !ok {
 		t.Fatal("E1 not registered")
 	}
-	run := func(workers int, backend string) string {
-		rep, err := e.Run(Config{Seed: 42, Quick: true, Workers: workers, Backend: backend})
+	run := func(workers int, backend string, threads int) string {
+		rep, err := e.Run(Config{Seed: 42, Quick: true, Workers: workers, Backend: backend, Threads: threads})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return rep.Text()
 	}
-	for _, backend := range []string{"loop", "batch"} {
-		one := run(1, backend)
-		eight := run(8, backend)
+	for _, bc := range []struct {
+		backend string
+		threads int
+	}{
+		{"loop", 0},
+		{"batch", 0},
+		{"parallel", 2},
+	} {
+		one := run(1, bc.backend, bc.threads)
+		eight := run(8, bc.backend, bc.threads)
 		if one != eight {
-			t.Errorf("backend %s: report differs between Workers=1 and Workers=8:\n--- 1 worker ---\n%s\n--- 8 workers ---\n%s",
-				backend, one, eight)
+			t.Errorf("backend %s threads %d: report differs between Workers=1 and Workers=8:\n--- 1 worker ---\n%s\n--- 8 workers ---\n%s",
+				bc.backend, bc.threads, one, eight)
 		}
 	}
 }

@@ -1,7 +1,7 @@
 // Package sim is the experiment harness of the reproduction: a
 // deterministic parallel trial runner, table rendering (text, markdown
-// and CSV), and the registry of validation experiments E1–E14 defined
-// in DESIGN.md, each of which checks one of the paper's claims
+// and CSV), and the registry of validation experiments E1–E19 defined
+// in DESIGN.md §3, each of which checks one of the paper's claims
 // (theorems, lemmas, examples or appendix discussions) against
 // simulation or exact computation.
 //
@@ -28,9 +28,15 @@ type Config struct {
 	// Full-size runs are what EXPERIMENTS.md records.
 	Quick bool
 	// Backend names the model sampling backend every protocol trial
-	// runs on ("loop", "batch"; empty = loop). Experiments that
-	// explicitly compare backends or processes ignore it.
+	// runs on ("loop", "batch", "parallel"; empty = loop). Experiments
+	// that explicitly compare backends or processes ignore it.
 	Backend string
+	// Threads bounds the "parallel" backend's intra-phase worker count
+	// per trial (0 = GOMAXPROCS; other backends ignore it). This is
+	// orthogonal to Workers, which parallelizes across trials: small
+	// populations amortize best across trials, huge single runs across
+	// phase chunks.
+	Threads int
 }
 
 func (c Config) workers() int {

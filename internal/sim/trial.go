@@ -31,6 +31,9 @@ func runProtocol(cfg Config, r *rng.Rand, n int, nm *noise.Matrix, params core.P
 	if params.Backend == "" {
 		params.Backend = cfg.Backend
 	}
+	if params.Threads == 0 {
+		params.Threads = cfg.Threads
+	}
 	eng, err := model.NewEngine(n, nm, model.ProcessO, r)
 	if err != nil {
 		return outcome{err: err}

@@ -24,8 +24,9 @@
 // (*NoiseMatrix).IsMajorityPreserving for an exact LP-based verdict.
 //
 // See DESIGN.md for the architecture and the experiment suite that
-// validates every claim of the paper, and EXPERIMENTS.md for the
-// paper-vs-measured record.
+// validates every claim of the paper; `go run ./cmd/experiments -run
+// all -write` regenerates EXPERIMENTS.md, the paper-vs-measured
+// record.
 package noisyrumor
 
 import (
@@ -141,12 +142,19 @@ type Config struct {
 	// ProcessO, the exact per-message simulation.
 	Engine Process
 	// Backend selects how phases are sampled: "loop" (the per-message
-	// reference, the default) or "batch" (aggregate phase sampling,
+	// reference, the default), "batch" (aggregate phase sampling,
 	// statistically equivalent and orders of magnitude faster for
-	// large N). See the package README for when each is exact. If
-	// Params.Backend is also set, Params wins — there is a single
-	// resolution path, through the protocol parameters.
+	// large N) or "parallel" (batch sampling spread over Threads
+	// worker goroutines via an exact multinomial chunk split). See the
+	// package README for when each is exact. If Params.Backend is also
+	// set, Params wins — there is a single resolution path, through
+	// the protocol parameters.
 	Backend string
+	// Threads bounds the "parallel" backend's per-phase worker count;
+	// 0 means GOMAXPROCS and 1 is bit-identical to "batch". Other
+	// backends ignore it. Runs are reproducible for a fixed (Seed,
+	// Backend, Threads). If Params.Threads is also set, Params wins.
+	Threads int
 }
 
 func (c Config) validate() error {
@@ -160,11 +168,13 @@ func (c Config) validate() error {
 }
 
 func (c Config) params() Params {
-	// The backend name is orthogonal to the protocol constants, so it
-	// is excluded from the "zero Params means defaults" sentinel:
-	// Params{Backend: "batch"} alone still gets derived constants.
+	// The backend name and its worker count are orthogonal to the
+	// protocol constants, so they are excluded from the "zero Params
+	// means defaults" sentinel: Params{Backend: "parallel", Threads: 8}
+	// alone still gets derived constants.
 	probe := c.Params
 	probe.Backend = ""
+	probe.Threads = 0
 	if probe == (Params{}) {
 		// A zero Params means "defaults": derive ε from the matrix's
 		// worst-case kept bias at δ=1 when possible, falling back to
@@ -175,6 +185,7 @@ func (c Config) params() Params {
 		}
 		p := DefaultParams(eps)
 		p.Backend = c.Params.Backend
+		p.Threads = c.Params.Threads
 		return p
 	}
 	return c.Params
@@ -188,11 +199,14 @@ func Run(cfg Config, initial []Opinion, correct Opinion) (Result, error) {
 		return Result{}, err
 	}
 	params := cfg.params()
-	// Fold the top-level knob into the protocol parameters so backend
-	// selection has exactly one resolution path (core.New); an
-	// explicit Params.Backend takes precedence.
+	// Fold the top-level knobs into the protocol parameters so backend
+	// selection has exactly one resolution path (core.New); explicit
+	// Params.Backend/Params.Threads take precedence.
 	if params.Backend == "" {
 		params.Backend = cfg.Backend
+	}
+	if params.Threads == 0 {
+		params.Threads = cfg.Threads
 	}
 	eng, err := model.NewEngine(cfg.N, cfg.Noise, cfg.Engine, rng.New(cfg.Seed))
 	if err != nil {
