@@ -4,13 +4,14 @@ GO ?= go
 
 # Benchmarks that are fast enough for CI (one iteration each): the
 # E-suite regeneration benches at quick scale plus the engine-phase
-# micro-benches for every backend (loop, batch, parallel). The
-# n=10⁵/10⁷ headline benches are excluded here and run by
+# micro-benches for every backend (loop, batch, parallel) and the
+# census engine (n-independent, so even its n=10⁹ phases are CI-fast).
+# The n=10⁵/10⁷ headline benches are excluded here and run by
 # `make bench-json`.
-QUICK_BENCH := 'BenchmarkE[0-9]+|BenchmarkPhase(Process|(Batch|Parallel)(Process|.*LargeN))'
+QUICK_BENCH := 'BenchmarkE[0-9]+|BenchmarkPhase(Process|(Batch|Parallel)(Process|.*LargeN))|BenchmarkCensusPhase'
 
 # Headline perf-trajectory benches recorded in BENCH_<n>.json.
-HEADLINE_BENCH := 'BenchmarkRumorSpreading($$|Huge)|BenchmarkPhase(Batch|Parallel)Huge|BenchmarkAblationEngine'
+HEADLINE_BENCH := 'BenchmarkRumorSpreading($$|Huge)|BenchmarkPhase(Batch|Parallel)Huge|BenchmarkAblationEngine|BenchmarkCensusSweepHuge'
 
 # Next free perf-trajectory index, auto-detected so `make bench-json`
 # appends a new BENCH_<n>.json instead of overwriting the last one.
@@ -40,7 +41,8 @@ bench-quick:
 # snapshots them into BENCH_$(BENCH_N).json.
 bench-json:
 	{ $(GO) test -run '^$$' -bench $(HEADLINE_BENCH) -benchtime 2x -timeout 60m . ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkPhase(Batch|Parallel)Huge' -benchtime 2x -timeout 60m ./internal/model ; } \
+	  $(GO) test -run '^$$' -bench 'BenchmarkPhase(Batch|Parallel)Huge' -benchtime 2x -timeout 60m ./internal/model ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkCensusPhase' -benchtime 2x -timeout 60m ./internal/census ; } \
 	| tee /dev/stderr \
 	| $(GO) run ./cmd/benchjson -label BENCH_$(BENCH_N) > BENCH_$(BENCH_N).json
 

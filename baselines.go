@@ -44,7 +44,11 @@ func RunBaseline(cfg Config, rule BaselineRule, h int, counts []int, maxRounds i
 		return BaselineResult{}, fmt.Errorf("noisyrumor: %d opinion counts for a %d-opinion noise matrix",
 			len(counts), k)
 	}
-	initial, err := model.InitPlurality(cfg.N, counts)
+	n, err := perNodeN(cfg.N)
+	if err != nil {
+		return BaselineResult{}, err
+	}
+	initial, err := model.InitPlurality(n, counts)
 	if err != nil {
 		return BaselineResult{}, err
 	}

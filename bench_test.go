@@ -1,6 +1,6 @@
 package noisyrumor
 
-// The bench harness: one benchmark per validation experiment E1–E19
+// The bench harness: one benchmark per validation experiment E1–E20
 // (see DESIGN.md §3). Each benchmark executes the experiment's full
 // pipeline at CI scale (sim.Config.Quick); the numbers printed by
 // `go test -bench=. -benchmem` are the cost of regenerating that
@@ -108,6 +108,11 @@ func BenchmarkE18JitterRobustness(b *testing.B) { benchExperiment(b, "E18") }
 // table (beyond-paper deliverable).
 func BenchmarkE19Adversary(b *testing.B) { benchExperiment(b, "E19") }
 
+// BenchmarkE20CensusEngine regenerates the census-engine exactness
+// and n-independence tables (including a full n = 10⁹ sweep — cheap
+// by design).
+func BenchmarkE20CensusEngine(b *testing.B) { benchExperiment(b, "E20") }
+
 // benchRumor runs one full rumor-spreading execution per iteration at
 // population n on the named sampling backend (threads applies to the
 // parallel backend only; 0 = GOMAXPROCS).
@@ -117,7 +122,7 @@ func benchRumor(b *testing.B, n int, backend string, threads int) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	cfg := Config{N: n, Noise: nm, Params: DefaultParams(0.25), Backend: backend, Threads: threads}
+	cfg := Config{N: int64(n), Noise: nm, Params: DefaultParams(0.25), Backend: backend, Threads: threads}
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		cfg.Seed = uint64(i + 1)
@@ -158,6 +163,32 @@ func BenchmarkRumorSpreadingHuge(b *testing.B) {
 	b.Run("n=1e7/backend=parallel/threads=4", func(b *testing.B) {
 		benchRumor(b, 10_000_000, "parallel", 4)
 	})
+}
+
+// BenchmarkCensusSweepHuge is the census engine's headline: one FULL
+// n = 10⁹, k = 5 plurality-consensus execution per iteration —
+// schedule derivation, every Stage-1 and Stage-2 phase, consensus
+// check. Compare against BenchmarkRumorSpreadingHuge (a full n = 10⁷
+// per-node run) and BenchmarkPhaseBatchHuge (one n = 10⁷ phase): the
+// census engine finishes a population 100× larger, end to end, before
+// the batch backend finishes one phase.
+func BenchmarkCensusSweepHuge(b *testing.B) {
+	nm, err := UniformNoise(5, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const n = 1_000_000_000
+	cfg := Config{N: n, Noise: nm, Params: DefaultParams(0.25)}
+	counts := []int64{n * 24 / 100, n * 19 / 100, n * 19 / 100, n * 19 / 100, n * 19 / 100}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		cfg.Seed = uint64(i + 1)
+		res, err := RunCensus(cfg, counts, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = res
+	}
 }
 
 // BenchmarkRumorSpreadingEndToEnd measures one full protocol execution

@@ -1,0 +1,144 @@
+package noisyrumor
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestCensusEnginePluralityConsensus: the facade's census path elects
+// the plurality at a population beyond int32 range — the headline
+// n ≥ 10⁹ workload through the public API.
+func TestCensusEnginePluralityConsensus(t *testing.T) {
+	nm, err := UniformNoise(3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		N:      3_000_000_000, // > 2³¹−1: int64 N plumbing regression
+		Noise:  nm,
+		Params: DefaultParams(0.25),
+		Seed:   5,
+		Engine: ProcessCensus,
+	}
+	res, err := PluralityConsensus(cfg, []int{1_100_000_000, 1_000_000_000, 900_000_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus || !res.Correct || res.Winner != 0 {
+		t.Fatalf("census consensus=%v correct=%v winner=%d", res.Consensus, res.Correct, res.Winner)
+	}
+}
+
+// TestCensusEngineRumorSpreading: one source among N−1 undecided,
+// entirely in aggregate.
+func TestCensusEngineRumorSpreading(t *testing.T) {
+	nm, err := UniformNoise(2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{
+		N:      1_000_000_000,
+		Noise:  nm,
+		Params: DefaultParams(0.3),
+		Seed:   2,
+		Engine: ProcessCensus,
+		Trace:  true,
+	}
+	res, err := RumorSpreading(cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("census rumor spreading failed: %+v", res)
+	}
+	if len(res.Trace) == 0 {
+		t.Fatal("trace requested but empty")
+	}
+	if first := res.Trace[0].Opinionated; first <= 0 || first >= cfg.N {
+		t.Fatalf("first-phase opinionated count %d implausible", first)
+	}
+}
+
+// TestRunCensusExposesBudget: the typed entry point returns the final
+// census and the truncation budget.
+func TestRunCensusExposesBudget(t *testing.T) {
+	nm, err := UniformNoise(4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{N: 10_000_000, Noise: nm, Params: DefaultParams(0.25), Seed: 3}
+	res, err := RunCensus(cfg, []int64{3_000_000, 2_600_000, 2_400_000, 2_000_000}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := res.Undecided
+	for _, c := range res.Final {
+		total += c
+	}
+	if total != cfg.N {
+		t.Fatalf("final census sums to %d, want %d", total, cfg.N)
+	}
+	if res.ErrorBudget < 0 || res.ErrorBudget > 1e-2 {
+		t.Fatalf("error budget %g out of expected range", res.ErrorBudget)
+	}
+}
+
+// TestRunWithCensusEngineMatchesCounts: Run under Engine:
+// ProcessCensus summarizes a per-node initial vector by its census —
+// same seed, same outcome as the counts-based entry point.
+func TestRunWithCensusEngineMatchesCounts(t *testing.T) {
+	nm, err := UniformNoise(3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{N: 300_000, Noise: nm, Params: DefaultParams(0.3), Seed: 9, Engine: ProcessCensus}
+	initial := make([]Opinion, cfg.N)
+	for i := range initial {
+		switch {
+		case i < 120_000:
+			initial[i] = 0
+		case i < 220_000:
+			initial[i] = 1
+		default:
+			initial[i] = Undecided
+		}
+	}
+	fromVector, err := Run(cfg, initial, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromCounts, err := RunCensus(cfg, []int64{120_000, 100_000, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fromVector, fromCounts.Result) {
+		t.Fatalf("vector and counts entry points disagree:\n%+v\n%+v", fromVector, fromCounts.Result)
+	}
+}
+
+// TestRunCensusValidation: malformed count vectors error instead of
+// panicking.
+func TestRunCensusValidation(t *testing.T) {
+	nm, err := UniformNoise(3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := RunCensus(Config{N: 1000, Noise: nm, Seed: 1}, []int64{1, 2}, 0); err == nil {
+		t.Error("RunCensus accepted a short count vector")
+	}
+	if _, err := RunCensus(Config{N: 1000, Noise: nm, Seed: 1}, []int64{600, 600, 0}, 0); err == nil {
+		t.Error("RunCensus accepted counts beyond N")
+	}
+}
+
+// TestEnginesListsCensus: the selector surface advertises the fourth
+// engine.
+func TestEnginesListsCensus(t *testing.T) {
+	if got := strings.Join(Engines(), ","); got != "O,B,P,census" {
+		t.Fatalf("Engines() = %s", got)
+	}
+	if ProcessCensus.String() != "census" {
+		t.Fatalf("ProcessCensus renders as %q", ProcessCensus)
+	}
+}

@@ -137,6 +137,7 @@ func parse(in io.Reader) (*Report, error) {
 // derive computes cross-benchmark ratios of interest.
 func derive(rep *Report) {
 	var loop, batch, hugeBatch, hugeParallel float64
+	var phaseBatchHuge, censusPhaseHuge, censusSweepHuge float64
 	for _, b := range rep.Benchmarks {
 		switch {
 		case strings.HasSuffix(b.Name, "backend=loop") && strings.Contains(b.Name, "RumorSpreading/"):
@@ -147,6 +148,12 @@ func derive(rep *Report) {
 			hugeBatch = b.NsPerOp
 		case strings.Contains(b.Name, "backend=parallel") && strings.Contains(b.Name, "RumorSpreadingHuge/"):
 			hugeParallel = b.NsPerOp
+		case strings.Contains(b.Name, "PhaseBatchHuge"):
+			phaseBatchHuge = b.NsPerOp
+		case strings.Contains(b.Name, "CensusPhaseHuge"):
+			censusPhaseHuge = b.NsPerOp
+		case strings.Contains(b.Name, "CensusSweepHuge"):
+			censusSweepHuge = b.NsPerOp
 		}
 	}
 	add := func(key string, v float64) {
@@ -160,5 +167,15 @@ func derive(rep *Report) {
 	}
 	if hugeBatch > 0 && hugeParallel > 0 {
 		add("rumor_spreading_n1e7_speedup_parallel_over_batch", hugeBatch/hugeParallel)
+	}
+	// The census headline: same phase workload at the largest common
+	// n (10⁷), aggregate census engine vs batch backend.
+	if phaseBatchHuge > 0 && censusPhaseHuge > 0 {
+		add("phase_n1e7_speedup_census_over_batch", phaseBatchHuge/censusPhaseHuge)
+	}
+	// A full n = 10⁹ census sweep against a full n = 10⁷ batch run:
+	// how much further the aggregate engine reaches end to end.
+	if hugeBatch > 0 && censusSweepHuge > 0 {
+		add("full_run_census_n1e9_speedup_over_batch_n1e7", hugeBatch/censusSweepHuge)
 	}
 }

@@ -18,6 +18,7 @@ import (
 	"strings"
 
 	"github.com/gossipkit/noisyrumor"
+	"github.com/gossipkit/noisyrumor/internal/model"
 )
 
 func main() {
@@ -30,7 +31,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("noisyrumor", flag.ContinueOnError)
 	var (
-		n       = fs.Int("n", 10000, "number of agents")
+		n       = fs.Int64("n", 10000, "number of agents (the census engine accepts n ≥ 10⁹)")
 		k       = fs.Int("k", 3, "number of opinions")
 		eps     = fs.Float64("eps", 0.25, "noise parameter ε")
 		seed    = fs.Uint64("seed", 1, "random seed")
@@ -38,13 +39,18 @@ func run(args []string, out io.Writer) error {
 		matrix  = fs.String("matrix", "uniform", "noise matrix: uniform | binary | identity | cycle | reset")
 		counts  = fs.String("counts", "", "comma-separated initial opinion counts (plurality consensus); empty = rumor spreading from one source")
 		correct = fs.Int("correct", 0, "the source's opinion (rumor spreading only)")
-		backend = fs.String("backend", "", "sampling backend: "+strings.Join(noisyrumor.Backends(), " | ")+" (empty = loop)")
+		engine  = fs.String("engine", "", "communication engine: "+strings.Join(noisyrumor.Engines(), " | ")+" (empty = O; census is the n-independent aggregate engine)")
+		backend = fs.String("backend", "", "sampling backend: "+strings.Join(noisyrumor.Backends(), " | ")+" (empty = loop; census engine ignores it)")
 		threads = fs.Int("threads", 0, "intra-phase worker count for the parallel backend (0 = GOMAXPROCS)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 
+	proc, err := model.ProcessByName(*engine)
+	if err != nil {
+		return err
+	}
 	nm, err := makeMatrix(*matrix, *k, *eps)
 	if err != nil {
 		return err
@@ -55,6 +61,7 @@ func run(args []string, out io.Writer) error {
 		Params:  noisyrumor.DefaultParams(*eps),
 		Seed:    *seed,
 		Trace:   *trace,
+		Engine:  proc,
 		Backend: *backend,
 		Threads: *threads,
 	}
@@ -63,7 +70,7 @@ func run(args []string, out io.Writer) error {
 	if *counts == "" {
 		res, err = noisyrumor.RumorSpreading(cfg, noisyrumor.Opinion(*correct))
 	} else {
-		var cs []int
+		var cs []int64
 		cs, err = parseCounts(*counts)
 		if err != nil {
 			return err
@@ -71,17 +78,21 @@ func run(args []string, out io.Writer) error {
 		if len(cs) != nm.K() {
 			return fmt.Errorf("%d counts for k=%d", len(cs), nm.K())
 		}
-		res, err = noisyrumor.PluralityConsensus(cfg, cs)
+		res, err = pluralityConsensus(cfg, proc, cs)
 	}
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(out, "n=%d k=%d ε=%v matrix=%s seed=%d\n", *n, nm.K(), *eps, *matrix, *seed)
+	fmt.Fprintf(out, "n=%d k=%d ε=%v matrix=%s engine=%v seed=%d\n", *n, nm.K(), *eps, *matrix, proc, *seed)
 	fmt.Fprintf(out, "consensus=%v winner=%d correct=%v rounds=%d (first all-correct: %d)\n",
 		res.Consensus, res.Winner, res.Correct, res.Rounds, res.FirstAllCorrect)
-	fmt.Fprintf(out, "memory: max phase counter %d → %d bits of counters per node\n",
-		res.MaxCounter, res.MemoryBits)
+	if proc == noisyrumor.ProcessCensus {
+		fmt.Fprintln(out, "memory: census engine tracks the aggregate opinion census only (no per-node counters)")
+	} else {
+		fmt.Fprintf(out, "memory: max phase counter %d → %d bits of counters per node\n",
+			res.MaxCounter, res.MemoryBits)
+	}
 	if *trace {
 		fmt.Fprintln(out, "\nphase trace (stage/phase, rounds, opinionated, bias toward correct):")
 		for _, ph := range res.Trace {
@@ -109,11 +120,51 @@ func makeMatrix(name string, k int, eps float64) (*noisyrumor.NoiseMatrix, error
 	}
 }
 
-func parseCounts(s string) ([]int, error) {
+// pluralityConsensus dispatches a counts-based run. The census engine
+// takes the int64 counts directly (a single opinion class can exceed
+// the int range the per-node facade entry point accepts); per-node
+// engines narrow them.
+func pluralityConsensus(cfg noisyrumor.Config, proc noisyrumor.Process, cs []int64) (noisyrumor.Result, error) {
+	if proc == noisyrumor.ProcessCensus {
+		plurality, strict := int64Plurality(cs)
+		if !strict {
+			return noisyrumor.Result{}, fmt.Errorf("initial counts %v have no strict plurality", cs)
+		}
+		res, err := noisyrumor.RunCensus(cfg, cs, plurality)
+		return res.Result, err
+	}
+	narrow := make([]int, len(cs))
+	for i, v := range cs {
+		if int64(int(v)) != v {
+			return noisyrumor.Result{}, fmt.Errorf("count %d exceeds the per-node engines' range; use -engine census", v)
+		}
+		narrow[i] = int(v)
+	}
+	return noisyrumor.PluralityConsensus(cfg, narrow)
+}
+
+// int64Plurality returns the strict-argmax opinion of a count vector.
+func int64Plurality(cs []int64) (noisyrumor.Opinion, bool) {
+	best, bestCount, ties := noisyrumor.Undecided, int64(-1), 0
+	for i, v := range cs {
+		switch {
+		case v > bestCount:
+			best, bestCount, ties = noisyrumor.Opinion(i), v, 1
+		case v == bestCount:
+			ties++
+		}
+	}
+	if bestCount <= 0 {
+		return noisyrumor.Undecided, false
+	}
+	return best, ties == 1
+}
+
+func parseCounts(s string) ([]int64, error) {
 	parts := strings.Split(s, ",")
-	out := make([]int, 0, len(parts))
+	out := make([]int64, 0, len(parts))
 	for _, p := range parts {
-		v, err := strconv.Atoi(strings.TrimSpace(p))
+		v, err := strconv.ParseInt(strings.TrimSpace(p), 10, 64)
 		if err != nil {
 			return nil, fmt.Errorf("bad count %q: %w", p, err)
 		}

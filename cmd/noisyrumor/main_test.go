@@ -92,3 +92,23 @@ func TestRunParallelBackendSmoke(t *testing.T) {
 		t.Fatal("bogus backend accepted")
 	}
 }
+
+func TestRunCensusEngineSmoke(t *testing.T) {
+	// The n ≥ 10⁹ one-liner through the flag surface: a population
+	// beyond int32 range must parse, run on the aggregate engine and
+	// report within seconds.
+	var b strings.Builder
+	if err := run([]string{"-n", "2200000000", "-k", "2", "-eps", "0.4", "-seed", "4",
+		"-engine", "census", "-counts", "1200000000,1000000000"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"engine=census", "consensus=true", "census engine tracks"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	if err := run([]string{"-engine", "warp"}, io.Discard); err == nil {
+		t.Fatal("bogus engine accepted")
+	}
+}

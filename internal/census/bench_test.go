@@ -1,0 +1,73 @@
+package census_test
+
+import (
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/census"
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// benchPhase times one census phase at population n: stage 1 when
+// ell == 0, otherwise a Stage-2 phase with sample size ell. The
+// numbers are n-independent by construction — compare
+// BenchmarkCensusPhaseHuge against internal/model's
+// BenchmarkPhaseBatchHuge (same n = 10⁷, k = 4, 114-round workload)
+// for the census-over-batch headline; cmd/benchjson derives the
+// ratio.
+func benchPhase(b *testing.B, n int64, k int, rounds, ell int) {
+	b.Helper()
+	nm, err := noise.Uniform(k, 0.25)
+	if err != nil {
+		b.Fatal(err)
+	}
+	counts := make([]int64, k)
+	counts[0] = n / int64(k+1) * 2
+	rest := (n - counts[0]) / int64(k-1)
+	for i := 1; i < k; i++ {
+		counts[i] = rest
+	}
+	eng, err := census.New(n, nm, rng.New(1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := eng.Init(counts); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		if ell == 0 {
+			err = eng.Stage1Phase(rounds)
+		} else {
+			err = eng.Stage2Phase(rounds, ell)
+		}
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCensusPhaseStage1 is the Stage-1 adoption law at n = 10⁹ —
+// closed form, so it prices the noise split and the transition draw.
+func BenchmarkCensusPhaseStage1(b *testing.B) {
+	benchPhase(b, 1_000_000_000, 5, 7, 0)
+}
+
+// BenchmarkCensusPhaseStage2 is a regular n = 10⁹ Stage-2 phase
+// (ℓ = 81, the ε = 0.25 schedule) — dominated by the majority-law
+// truncated summation.
+func BenchmarkCensusPhaseStage2(b *testing.B) {
+	benchPhase(b, 1_000_000_000, 5, 162, 81)
+}
+
+// BenchmarkCensusPhaseHuge is the n = 10⁷ phase of
+// BenchmarkPhaseBatchHuge (internal/model) on the census engine: the
+// same k = 4, ε = 0.25 channel and 114-round Stage-2 length (ℓ = 57).
+// The batch backend pays Ω(n·k) here; the census engine's cost has no
+// n in it at all.
+func BenchmarkCensusPhaseHuge(b *testing.B) {
+	benchPhase(b, 10_000_000, 4, 114, 57)
+}

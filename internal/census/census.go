@@ -1,0 +1,352 @@
+// Package census is the aggregate opinion-census engine: it simulates
+// the two-stage protocol's phase dynamics under process P
+// (Poissonization, Definition 4 of the paper) directly on the
+// k-dimensional opinion census (c₁,…,c_k, undecided), with per-phase
+// cost independent of the population size n.
+//
+// Why this is possible: under process P every node's phase-end
+// outcome is, conditionally on the phase's noisy message multiset,
+// independent and identically distributed within its opinion class —
+// node u receives independent Poisson(g_j/n) messages of each opinion
+// j and applies a local update rule to them. The census is therefore
+// itself a Markov chain: one phase is (1) the noise multinomial split
+// of the sent multiset (exactly as the batch backend's noise step),
+// (2) an evaluation of each class's phase-end adoption distribution
+// p_{i→·} from the split (law.go), and (3) one exact
+// multinomial(c_i; p_{i→·}) draw per class. Total cost is
+// O(k² + k·poly(window)) per phase — no per-node state, no Ω(n) inner
+// loop — which is what opens n ≥ 10⁹ (and far beyond) sweeps.
+//
+// The adoption distributions decompose per stage:
+//
+//   - Stage 1 (u.a.r.-received adoption): only undecided nodes update;
+//     the adoption law has the exact closed form of Stage1Law, so the
+//     stage-1 census transition is an exact sample of process P's
+//     census law.
+//   - Stage 2 (ℓ-subsample majority): a node updates iff it received
+//     S ≥ ℓ messages (S ~ Poisson(Λ), Λ = Σg_j/n — dist.PoissonSurvival),
+//     and conditional on updating adopts maj of a uniform ℓ-subsample.
+//     Because an ℓ-subsample without replacement of an s-element
+//     multiset whose composition is Multinomial(s, q) has composition
+//     Multinomial(ℓ, q) regardless of s, the update law is
+//     MajorityLaw(q, ℓ) for every class — evaluated by truncated
+//     summation over received-count profiles with every dropped
+//     term's mass accounted.
+//
+// Exactness contract: the engine samples process P's census chain
+// exactly except for the Stage-2 truncation, whose accumulated
+// total-variation mass is exposed as Engine.ErrorBudget — the same
+// currency as the paper's Lemma-3 coupling argument, which transfers
+// w.h.p. events from P to the real process O at an additive
+// probability cost. A caller comparing census sweeps against process
+// O owes Lemma 3's budget; comparing against process P owes only
+// ErrorBudget. At the default tolerance the budget is bounded by
+// ~20 phases × n × 10⁻¹³ ≈ 2·10⁻³ for an n = 10⁹ sweep; realized
+// truncation sits far inside the per-phase tolerance, so the measured
+// budget is ≈ 10⁻⁵ (see DESIGN.md §2 and E20).
+//
+// Determinism: a run is a pure function of the engine's rng stream
+// (hence of the seed). Draws happen in a fixed serial order — noise
+// split rows in opinion order, then one transition multinomial per
+// class in opinion order, undecided last. Census runs consume the
+// stream differently from every per-node backend, so they are
+// statistically equivalent to per-node process-P runs (pinned by
+// chi-square tests), not bitwise equal.
+package census
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gossipkit/noisyrumor/internal/dist"
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// DefaultTolerance is the per-phase Stage-2 truncation tolerance: the
+// targeted per-node total-variation gap between the sampled and exact
+// adoption laws. The engine's ErrorBudget accumulates n times the
+// realized (accounted, conservative) gap per phase, so the default
+// bounds a full n = 10⁹ sweep's budget by ≈ 2·10⁻³ in the worst case;
+// because the realized gap stays far inside the tolerance, measured
+// sweeps come in around 10⁻⁵.
+const DefaultTolerance = 1e-13
+
+// Engine advances the opinion census of process P phase by phase. It
+// is not safe for concurrent use; the experiment harness runs one
+// engine per trial goroutine.
+type Engine struct {
+	n      int64
+	k      int
+	nm     *noise.Matrix
+	noisy  bool
+	r      *rng.Rand
+	counts []int64 // census: nodes currently holding each opinion
+	und    int64   // undecided nodes
+	tol    float64
+	budget float64
+
+	sent    []int64   // per-opinion sent multiset, reused
+	recv    []int64   // per-opinion post-noise multiset, reused
+	rowBuf  []int64   // k-length multinomial scratch, reused
+	next    []int64   // next census accumulator, reused
+	trans   []int64   // per-class transition draw, reused (k+1 wide)
+	probs   []float64 // per-class transition law, reused (k+1 wide)
+	lambda  []float64 // per-opinion Poisson rates, reused
+	scratch []float64
+}
+
+// New builds a census engine for n nodes under the given noise matrix
+// (which fixes k), drawing from r. The census starts all-undecided;
+// use Init to set it.
+func New(n int64, nm *noise.Matrix, r *rng.Rand) (*Engine, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("census: New with n=%d", n)
+	}
+	if nm == nil {
+		return nil, fmt.Errorf("census: New with nil noise matrix")
+	}
+	if r == nil {
+		return nil, fmt.Errorf("census: New with nil rng")
+	}
+	k := nm.K()
+	return &Engine{
+		n:      n,
+		k:      k,
+		nm:     nm,
+		noisy:  !nm.IsIdentity(),
+		r:      r,
+		counts: make([]int64, k),
+		und:    n,
+		tol:    DefaultTolerance,
+		sent:   make([]int64, k),
+		recv:   make([]int64, k),
+		rowBuf: make([]int64, k),
+		next:   make([]int64, k),
+		trans:  make([]int64, k+1),
+		probs:  make([]float64, k+1),
+		lambda: make([]float64, k),
+	}, nil
+}
+
+// Init sets the census: counts[i] nodes hold opinion i and the
+// remaining n − Σcounts nodes are undecided.
+func (e *Engine) Init(counts []int64) error {
+	if len(counts) != e.k {
+		return fmt.Errorf("census: Init with %d counts for k=%d", len(counts), e.k)
+	}
+	total := int64(0)
+	for i, c := range counts {
+		if c < 0 {
+			return fmt.Errorf("census: Init with counts[%d]=%d", i, c)
+		}
+		if total += c; total > e.n {
+			return fmt.Errorf("census: Init counts sum beyond n=%d", e.n)
+		}
+	}
+	copy(e.counts, counts)
+	e.und = e.n - total
+	return nil
+}
+
+// N returns the population size.
+func (e *Engine) N() int64 { return e.n }
+
+// K returns the opinion-space size.
+func (e *Engine) K() int { return e.k }
+
+// Counts returns the current census (a copy).
+func (e *Engine) Counts() []int64 { return append([]int64(nil), e.counts...) }
+
+// Undecided returns the number of undecided nodes.
+func (e *Engine) Undecided() int64 { return e.und }
+
+// Rand returns the engine's random stream.
+func (e *Engine) Rand() *rng.Rand { return e.r }
+
+// SetTolerance overrides the per-phase truncation tolerance (see
+// DefaultTolerance). Lowering it tightens ErrorBudget at the price of
+// wider summation windows in the Stage-2 law.
+func (e *Engine) SetTolerance(tol float64) error {
+	if tol <= 0 || math.IsNaN(tol) {
+		return fmt.Errorf("census: SetTolerance(%v)", tol)
+	}
+	e.tol = tol
+	return nil
+}
+
+// ErrorBudget returns the accumulated truncation mass of the run so
+// far: Σ over phases of n × (conservatively accounted per-node
+// total-variation gap between the sampled and the exact process-P
+// adoption law). By the union bound this upper-bounds the probability
+// that an exact process-P census run, optimally coupled, would have
+// diverged from this one — directly comparable to (and additive with)
+// the paper's Lemma-3 P↔O coupling budget.
+func (e *Engine) ErrorBudget() float64 { return e.budget }
+
+// Consensus reports whether every node holds opinion m.
+func (e *Engine) Consensus(m int) bool {
+	if m < 0 || m >= e.k {
+		return false
+	}
+	return e.counts[m] == e.n
+}
+
+// noiseSplit builds the phase's sent multiset (counts·rounds), pushes
+// it through the noise matrix with one multinomial split per opinion
+// row, and fills e.lambda with the per-opinion delivery rates g_j/n.
+// It returns the total received count G. Mirrors the batch backend's
+// applyNoiseBulk over int64 counts.
+func (e *Engine) noiseSplit(rounds int) (int64, error) {
+	if rounds < 0 {
+		return 0, fmt.Errorf("census: phase with %d rounds", rounds)
+	}
+	for i, c := range e.counts {
+		if rounds > 0 && c > math.MaxInt64/int64(rounds) {
+			return 0, fmt.Errorf("census: phase budget %d pushers × %d rounds overflows int64", c, rounds)
+		}
+		e.sent[i] = c * int64(rounds)
+	}
+	total := int64(0)
+	for _, h := range e.sent {
+		if total += h; total < 0 {
+			return 0, fmt.Errorf("census: phase budget overflows int64")
+		}
+	}
+	if total >= 1<<53 {
+		// Beyond exact float64 integers the multinomial splits would
+		// silently lose low bits; no schedule this repo derives gets
+		// near (n = 10⁹ × 10⁴ rounds ≈ 2⁵³/900).
+		return 0, fmt.Errorf("census: phase budget %d beyond exact float64 range", total)
+	}
+	if !e.noisy {
+		copy(e.recv, e.sent)
+	} else {
+		e.nm.SplitCounts64(e.r, e.sent, e.recv, e.rowBuf)
+	}
+	nf := float64(e.n)
+	for j, g := range e.recv {
+		e.lambda[j] = float64(g) / nf
+	}
+	return total, nil
+}
+
+// Stage1Phase advances the census through one Stage-1 phase of the
+// given length: opinionated nodes push every round, undecided nodes
+// adopt a u.a.r. received opinion at phase end (or stay undecided when
+// they received nothing). The transition is an exact sample of
+// process P's census law — one multinomial(undecided; adopt…, stay)
+// draw.
+func (e *Engine) Stage1Phase(rounds int) error {
+	if _, err := e.noiseSplit(rounds); err != nil {
+		return err
+	}
+	if e.und == 0 {
+		return nil
+	}
+	adopt, stay := Stage1Law(e.lambda)
+	if stay == 1 {
+		return nil
+	}
+	probs := e.probs[:e.k+1]
+	copy(probs, adopt)
+	probs[e.k] = stay
+	trans := e.trans[:e.k+1]
+	dist.SampleMultinomial64(e.r, e.und, probs, trans)
+	for j := 0; j < e.k; j++ {
+		e.counts[j] += trans[j]
+	}
+	e.und = trans[e.k]
+	return nil
+}
+
+// Stage2Phase advances the census through one Stage-2 phase: rounds
+// rounds of pushing, then every node that received at least
+// sampleSize messages adopts the majority of a uniform sampleSize-
+// subsample (ties u.a.r.). One multinomial(c_i; p_{i→·}) draw per
+// class, undecided last; p_{i→j} = P(update)·r_j + P(keep)·δ_ij with
+// r = MajorityLaw(q, sampleSize).
+func (e *Engine) Stage2Phase(rounds, sampleSize int) error {
+	if sampleSize < 1 {
+		return fmt.Errorf("census: Stage2Phase with sample size %d", sampleSize)
+	}
+	total, err := e.noiseSplit(rounds)
+	if err != nil {
+		return err
+	}
+	if total == 0 {
+		return nil // nobody pushed ⇒ nobody reaches the sample threshold
+	}
+	lambdaTotal := 0.0
+	for _, l := range e.lambda {
+		lambdaTotal += l
+	}
+	pUp := dist.PoissonSurvival(lambdaTotal, int64(sampleSize))
+	if pUp == 0 {
+		return nil
+	}
+	// The subsample composition law q is the post-noise multiset
+	// distribution; it is the same for every class, so the majority
+	// law is evaluated once per phase.
+	q := e.scratch
+	if cap(q) < e.k {
+		q = make([]float64, e.k)
+		e.scratch = q
+	}
+	q = q[:e.k]
+	for j, l := range e.lambda {
+		q[j] = l / lambdaTotal
+	}
+	r, dropped := MajorityLaw(q, sampleSize, e.tol)
+	// Renormalize the truncated law into a proper distribution; the
+	// sampled transition then sits within `dropped` total variation of
+	// the exact one. Every node is update-eligible, so the phase adds
+	// n·dropped to the coupling budget.
+	sum := 0.0
+	for _, v := range r {
+		sum += v
+	}
+	if sum <= 0 {
+		return fmt.Errorf("census: majority law fully truncated (tol=%v too loose)", e.tol)
+	}
+	for j := range r {
+		r[j] /= sum
+	}
+	e.budget += float64(e.n) * dropped
+	probs := e.probs[:e.k]
+	trans := e.trans[:e.k]
+	next := e.next
+	for j := range next {
+		next[j] = 0
+	}
+	for i, c := range e.counts {
+		if c == 0 {
+			continue
+		}
+		for j := range probs {
+			probs[j] = pUp * r[j]
+		}
+		probs[i] += 1 - pUp
+		dist.SampleMultinomial64(e.r, c, probs, trans)
+		for j, v := range trans {
+			next[j] += v
+		}
+	}
+	if e.und > 0 {
+		// Undecided nodes follow the same update rule; non-updaters
+		// stay undecided (and keep not pushing).
+		probs := e.probs[:e.k+1]
+		trans := e.trans[:e.k+1]
+		for j := 0; j < e.k; j++ {
+			probs[j] = pUp * r[j]
+		}
+		probs[e.k] = 1 - pUp
+		dist.SampleMultinomial64(e.r, e.und, probs, trans)
+		for j := 0; j < e.k; j++ {
+			next[j] += trans[j]
+		}
+		e.und = trans[e.k]
+	}
+	copy(e.counts, next)
+	return nil
+}

@@ -1,0 +1,334 @@
+package census_test
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/census"
+	"github.com/gossipkit/noisyrumor/internal/dist"
+	"github.com/gossipkit/noisyrumor/internal/model"
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+func newEngine(t testing.TB, n int64, nm *noise.Matrix, seed uint64, counts []int64) *census.Engine {
+	t.Helper()
+	e, err := census.New(n, nm, rng.New(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Init(counts); err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestEngineGoldenDeterminism: a census trajectory is a pure function
+// of the seed — phase by phase, across mixed Stage-1/Stage-2
+// schedules — and different seeds diverge.
+func TestEngineGoldenDeterminism(t *testing.T) {
+	nm, err := noise.Uniform(4, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(seed uint64) [][]int64 {
+		e := newEngine(t, 2_000_000_000, nm, seed, []int64{600_000_000, 500_000_000, 300_000_000, 0})
+		var trace [][]int64
+		for phase := 0; phase < 4; phase++ {
+			if err := e.Stage1Phase(7); err != nil {
+				t.Fatal(err)
+			}
+			trace = append(trace, append(e.Counts(), e.Undecided()))
+		}
+		for phase := 0; phase < 4; phase++ {
+			if err := e.Stage2Phase(22, 11); err != nil {
+				t.Fatal(err)
+			}
+			trace = append(trace, append(e.Counts(), e.Undecided()))
+		}
+		return trace
+	}
+	a, b := run(7), run(7)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different trajectories:\n%v\n%v", a, b)
+	}
+	if c := run(8); reflect.DeepEqual(a, c) {
+		t.Fatal("different seeds produced identical trajectories")
+	}
+}
+
+// TestEngineConservation: the census plus the undecided count is a
+// partition of n after every phase, with int64 counters that carry
+// n = 2·10⁹ (past int32) without wrapping.
+func TestEngineConservation(t *testing.T) {
+	nm, err := noise.Reset(3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 2_000_000_000
+	e := newEngine(t, n, nm, 3, []int64{700_000_000, 600_000_000, 0})
+	check := func(stage string) {
+		total := e.Undecided()
+		for _, c := range e.Counts() {
+			if c < 0 {
+				t.Fatalf("%s: negative class count %v", stage, e.Counts())
+			}
+			total += c
+		}
+		if total != n {
+			t.Fatalf("%s: census sums to %d, want %d", stage, total, n)
+		}
+	}
+	for phase := 0; phase < 3; phase++ {
+		if err := e.Stage1Phase(5); err != nil {
+			t.Fatal(err)
+		}
+		check("stage 1")
+	}
+	for phase := 0; phase < 3; phase++ {
+		if err := e.Stage2Phase(18, 9); err != nil {
+			t.Fatal(err)
+		}
+		check("stage 2")
+	}
+	if e.ErrorBudget() > 1e-3 {
+		t.Fatalf("error budget %g unexpectedly large at default tolerance", e.ErrorBudget())
+	}
+}
+
+// TestEngineChiSquareVsProcessP is the equivalence contract at test
+// scale (E20 carries the full version): the end-of-phase census
+// produced by the aggregate engine and by a per-node process-P engine
+// must be statistically indistinguishable, for uniform and
+// non-uniform noise, in both stages.
+func TestEngineChiSquareVsProcessP(t *testing.T) {
+	const (
+		n    = 1200
+		k    = 3
+		reps = 60
+	)
+	uniform, err := noise.Uniform(k, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reset, err := noise.Reset(k, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		nm     *noise.Matrix
+		stage2 bool
+	}{
+		{"uniform/stage1", uniform, false},
+		{"uniform/stage2", uniform, true},
+		{"reset/stage1", reset, false},
+		{"reset/stage2", reset, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			counts := []int{n * 4 / 10, n * 3 / 10, 0}
+			if tc.stage2 {
+				// 10% stay undecided: exercises the undecided class's
+				// Stage-2 transition (update to an opinion vs stay
+				// silent) on both sides.
+				counts = []int{n * 45 / 100, n * 35 / 100, n / 10}
+			}
+			perNode := make([]int, reps)
+			agg := make([]int, reps)
+			for rep := 0; rep < reps; rep++ {
+				perNode[rep] = perNodePhase(t, tc.nm, n, counts, tc.stage2, uint64(1000+2*rep))
+				agg[rep] = censusPhase(t, tc.nm, n, counts, tc.stage2, uint64(1001+2*rep)+9_000_000)
+			}
+			ha, hb := histograms(perNode, agg)
+			res, err := dist.ChiSquareTwoSample(ha, hb, 5)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.PValue < 1e-4 {
+				t.Fatalf("census vs per-node P distinguishable: χ²=%.2f df=%d p=%.6f",
+					res.Statistic, res.DF, res.PValue)
+			}
+		})
+	}
+}
+
+// perNodePhase is an independent re-implementation of the protocol's
+// phase-end rules (core/protocol.go: Stage-1 u.a.r. adoption, Stage-2
+// ℓ-subsample majority with u.a.r. ties) on the per-node process-P
+// engine — deliberately written twice (sim/e20.go has the experiment
+// copy) so a transcription error in either reference cannot silently
+// cancel against the engine under test. Keep all three in sync.
+func perNodePhase(t *testing.T, nm *noise.Matrix, n int, counts []int, stage2 bool, seed uint64) int {
+	t.Helper()
+	ops, err := model.InitPlurality(n, counts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(seed)
+	eng, err := model.NewEngine(n, nm, model.ProcessP, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rounds, ell := 4, 0
+	if stage2 {
+		rounds, ell = 10, 5
+	}
+	res, err := eng.RunPhase(ops, rounds)
+	if err != nil {
+		t.Fatal(err)
+	}
+	k := res.K
+	buf := make([]int, k)
+	for u := 0; u < n; u++ {
+		total := int(res.Total[u])
+		row := res.Counts[u*k : (u+1)*k]
+		if !stage2 {
+			if ops[u] != model.Undecided || total == 0 {
+				continue
+			}
+			x := int(r.Uint64n(uint64(total)))
+			for i, c := range row {
+				x -= int(c)
+				if x < 0 {
+					ops[u] = model.Opinion(i)
+					break
+				}
+			}
+			continue
+		}
+		if total < ell {
+			continue
+		}
+		sample := dist.SampleMultisetWithoutReplacement(r, row, ell, buf)
+		best, ties, winner := -1, 0, 0
+		for i, c := range sample {
+			switch {
+			case c > best:
+				best, winner, ties = c, i, 1
+			case c == best:
+				ties++
+				if r.Intn(ties) == 0 {
+					winner = i
+				}
+			}
+		}
+		ops[u] = model.Opinion(winner)
+	}
+	out, _ := model.CountOpinions(ops, k)
+	return out[0]
+}
+
+func censusPhase(t *testing.T, nm *noise.Matrix, n int, counts []int, stage2 bool, seed uint64) int {
+	t.Helper()
+	wide := make([]int64, len(counts))
+	for i, c := range counts {
+		wide[i] = int64(c)
+	}
+	e := newEngine(t, int64(n), nm, seed, wide)
+	var err error
+	if stage2 {
+		err = e.Stage2Phase(10, 5)
+	} else {
+		err = e.Stage1Phase(4)
+	}
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int(e.Counts()[0])
+}
+
+// histograms bins both samples over one common equal-width grid —
+// bin i of one histogram must mean the same value range as bin i of
+// the other, or the positional chi-square comparison is blind to
+// location shifts (and noisy under none).
+func histograms(a, b []int) ([]int, []int) {
+	lo, hi := a[0], a[0]
+	for _, v := range a {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	for _, v := range b {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	const bins = 10
+	width := (hi - lo + bins) / bins
+	if width < 1 {
+		width = 1
+	}
+	ha := make([]int, bins)
+	hb := make([]int, bins)
+	for _, v := range a {
+		ha[(v-lo)/width]++
+	}
+	for _, v := range b {
+		hb[(v-lo)/width]++
+	}
+	return ha, hb
+}
+
+// TestEngineGuards: constructor and phase validation.
+func TestEngineGuards(t *testing.T) {
+	nm, err := noise.Uniform(3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := census.New(0, nm, rng.New(1)); err == nil {
+		t.Error("New accepted n=0")
+	}
+	if _, err := census.New(5, nil, rng.New(1)); err == nil {
+		t.Error("New accepted nil matrix")
+	}
+	if _, err := census.New(5, nm, nil); err == nil {
+		t.Error("New accepted nil rng")
+	}
+	e := newEngine(t, 10, nm, 1, []int64{5, 5, 0})
+	if err := e.Init([]int64{5, 5, 5}); err == nil {
+		t.Error("Init accepted counts beyond n")
+	}
+	if err := e.Init([]int64{-1, 0, 0}); err == nil {
+		t.Error("Init accepted a negative count")
+	}
+	if err := e.Init([]int64{1, 2}); err == nil {
+		t.Error("Init accepted a short count vector")
+	}
+	if err := e.Stage2Phase(10, 0); err == nil {
+		t.Error("Stage2Phase accepted sample size 0")
+	}
+	if err := e.Stage1Phase(-1); err == nil {
+		t.Error("Stage1Phase accepted negative rounds")
+	}
+	// Phase budgets that overflow int64 (or leave exact float64 range)
+	// must be rejected, not wrapped.
+	huge := newEngine(t, 1<<55, nm, 1, []int64{1 << 54, 1 << 54, 0})
+	if err := huge.Stage1Phase(1 << 12); err == nil {
+		t.Error("Stage1Phase accepted a budget beyond exact float64 range")
+	}
+	if err := e.SetTolerance(0); err == nil {
+		t.Error("SetTolerance accepted 0")
+	}
+}
+
+// TestStage2NoMessages: with nobody pushing, a Stage-2 phase is the
+// identity (nobody can reach the sample threshold).
+func TestStage2NoMessages(t *testing.T) {
+	nm, err := noise.Uniform(3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, 1000, nm, 1, []int64{0, 0, 0})
+	if err := e.Stage2Phase(10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if e.Undecided() != 1000 {
+		t.Fatalf("silent phase changed the census: %v / %d undecided", e.Counts(), e.Undecided())
+	}
+}

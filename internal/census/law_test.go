@@ -1,0 +1,165 @@
+package census
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/analytic"
+	"github.com/gossipkit/noisyrumor/internal/dist"
+)
+
+// TestMajorityLawMatchesEnumeration pins the truncated summation
+// against analytic.MajProbs, the exhaustive enumeration over all
+// C(ℓ+k−1, k−1) received-count profiles — including even ℓ, where the
+// u.a.r. tie-break carries real mass.
+func TestMajorityLawMatchesEnumeration(t *testing.T) {
+	for _, tc := range []struct {
+		q   []float64
+		ell int
+	}{
+		{[]float64{0.5, 0.3, 0.2}, 5},
+		{[]float64{0.5, 0.3, 0.2}, 9},
+		{[]float64{0.25, 0.25, 0.25, 0.25}, 7},
+		{[]float64{0.7, 0.3}, 11},
+		{[]float64{0.4, 0.35, 0.25}, 16}, // even ℓ: top-two ties matter
+		{[]float64{1, 0, 0}, 5},
+		{[]float64{0.34, 0.33, 0.33}, 12},
+		{[]float64{0.9, 0.04, 0.03, 0.02, 0.01}, 9},
+	} {
+		want := analytic.MajProbs(tc.q, tc.ell)
+		got, dropped := MajorityLaw(tc.q, tc.ell, 1e-13)
+		for j := range want {
+			if math.Abs(got[j]-want[j]) > 1e-10+dropped {
+				t.Errorf("q=%v ℓ=%d: r[%d]=%.12f want %.12f (dropped %.3g)",
+					tc.q, tc.ell, j, got[j], want[j], dropped)
+			}
+		}
+	}
+}
+
+// TestMajorityLawBinomialIdentity: for k=2 and odd ℓ there are no
+// ties, so the majority law is a plain binomial survival — checked at
+// an ℓ far beyond enumeration range.
+func TestMajorityLawBinomialIdentity(t *testing.T) {
+	q := []float64{0.55, 0.45}
+	ell := 665
+	r, dropped := MajorityLaw(q, ell, 1e-13)
+	want := dist.BinomialSurvival(ell, ell/2, q[0])
+	if math.Abs(r[0]-want) > 1e-9+dropped {
+		t.Fatalf("r[0]=%.12f want %.12f (dropped %.3g)", r[0], want, dropped)
+	}
+	if math.Abs(r[0]+r[1]-1) > 1e-9+dropped {
+		t.Fatalf("k=2 law does not sum to 1: %v", r)
+	}
+}
+
+// TestMajorityLawTruncationConservative is the truncation-bound
+// contract: whatever mass the summation fails to place on some winner
+// must be covered by the reported dropped estimate — Σr + dropped ≥ 1
+// up to float slop — across tolerances loose enough to make the
+// windows bite visibly.
+func TestMajorityLawTruncationConservative(t *testing.T) {
+	for _, tol := range []float64{1e-13, 1e-9, 1e-6, 1e-3} {
+		for _, tc := range []struct {
+			q   []float64
+			ell int
+		}{
+			{[]float64{0.24, 0.19, 0.19, 0.19, 0.19}, 81},
+			{[]float64{0.24, 0.19, 0.19, 0.19, 0.19}, 665},
+			{[]float64{0.97, 0.0075, 0.0075, 0.0075, 0.0075}, 665},
+			{[]float64{0.5, 0.3, 0.2}, 33},
+		} {
+			r, dropped := MajorityLaw(tc.q, tc.ell, tol)
+			sum := 0.0
+			for j, v := range r {
+				if v < 0 || v > 1+1e-12 {
+					t.Fatalf("tol=%g q=%v ℓ=%d: r[%d]=%v out of range", tol, tc.q, tc.ell, j, v)
+				}
+				sum += v
+			}
+			if gap := 1 - sum; gap > dropped+1e-11 {
+				t.Errorf("tol=%g q=%v ℓ=%d: unaccounted mass %.3g exceeds dropped estimate %.3g",
+					tol, tc.q, tc.ell, gap, dropped)
+			}
+			// The estimate must also stay honest: loosening by orders
+			// of magnitude may not explode past the requested budget
+			// by more than the documented constants allow.
+			if dropped > tol {
+				t.Errorf("tol=%g q=%v ℓ=%d: dropped %.3g exceeds the tolerance target", tol, tc.q, tc.ell, dropped)
+			}
+		}
+	}
+}
+
+// TestStage1LawMatchesTruncatedProfileSum performs the literal
+// truncated-Poisson summation over received-count profiles that the
+// closed form of Stage1Law collapses: adopt[j] = Σ_profiles
+// ΠPoissonPMF(λ_i, x_i) · x_j/Σx, truncated at x_i ≤ M. The two must
+// agree within the profile tail mass — which the union bound
+// Σ_j Pr(Poisson(λ_j) > M) conservatively covers.
+func TestStage1LawMatchesTruncatedProfileSum(t *testing.T) {
+	lambda := []float64{0.8, 0.5, 0.3}
+	const M = 25
+	adopt, stay := Stage1Law(lambda)
+
+	var sumAdopt [3]float64
+	sumStay := 0.0
+	var rec func(idx int, prob float64, counts [3]int)
+	rec = func(idx int, prob float64, counts [3]int) {
+		if idx == len(lambda) {
+			total := counts[0] + counts[1] + counts[2]
+			if total == 0 {
+				sumStay += prob
+				return
+			}
+			for j, c := range counts {
+				sumAdopt[j] += prob * float64(c) / float64(total)
+			}
+			return
+		}
+		for x := 0; x <= M; x++ {
+			counts[idx] = x
+			rec(idx+1, prob*dist.PoissonPMF(lambda[idx], x), counts)
+		}
+	}
+	rec(0, 1, [3]int{})
+
+	tail := 0.0
+	for _, l := range lambda {
+		tail += 1 - dist.PoissonCDF(l, M)
+	}
+	for j := range lambda {
+		if math.Abs(adopt[j]-sumAdopt[j]) > tail+1e-12 {
+			t.Errorf("adopt[%d]: closed form %.12f vs truncated profile sum %.12f (tail bound %.3g)",
+				j, adopt[j], sumAdopt[j], tail)
+		}
+	}
+	if math.Abs(stay-sumStay) > tail+1e-12 {
+		t.Errorf("stay: closed form %.12f vs truncated profile sum %.12f", stay, sumStay)
+	}
+	// Conservativeness of the tail estimate itself: the profile sum
+	// plus the union-bound tail must cover all probability.
+	covered := sumStay
+	for _, v := range sumAdopt {
+		covered += v
+	}
+	if 1-covered > tail+1e-12 {
+		t.Errorf("profile-sum tail mass %.3g exceeds the union bound %.3g", 1-covered, tail)
+	}
+}
+
+func TestStage1LawEdgeCases(t *testing.T) {
+	adopt, stay := Stage1Law([]float64{0, 0})
+	if stay != 1 || adopt[0] != 0 || adopt[1] != 0 {
+		t.Fatalf("zero-rate law = (%v, %v), want all mass on stay", adopt, stay)
+	}
+	// Probabilities must form a distribution for a busy channel.
+	adopt, stay = Stage1Law([]float64{3.5, 1.25, 0.25})
+	total := stay
+	for _, v := range adopt {
+		total += v
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("law sums to %v", total)
+	}
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gossipkit/noisyrumor/internal/census"
+	"github.com/gossipkit/noisyrumor/internal/model"
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// CensusResult is a census run's outcome: the shared Result fields
+// plus the aggregate engine's truncation accounting. MaxCounter and
+// MemoryBits are zero — the census engine keeps no per-node state, so
+// the memory-accounting observables of Theorems 1–2 are not defined
+// for it (E11 measures them on the per-node engines).
+type CensusResult struct {
+	Result
+	// Final is the end-of-run census.
+	Final []int64
+	// Undecided is the number of still-undecided nodes at the end.
+	Undecided int64
+	// ErrorBudget is the run's accumulated Lemma-3-style truncation
+	// budget (see census.Engine.ErrorBudget).
+	ErrorBudget float64
+}
+
+// RunCensus executes the full two-stage protocol on the aggregate
+// census engine: the same Schedule as a per-node run of n nodes, but
+// every phase advances the k-dimensional opinion census with one
+// multinomial transition draw per class — per-phase cost independent
+// of n. It is the protocol fast path that skips the per-node Stage-1
+// adoption and Stage-2 subsampling loops entirely, which is what
+// makes n ≥ 10⁹ sweeps take seconds.
+//
+// initial[i] nodes start with opinion i and the remaining
+// n − Σinitial start undecided. The run is a pure function of r's
+// seed; draws happen in the fixed serial order documented in the
+// census package.
+func RunCensus(n int64, nm *noise.Matrix, params Params, initial []int64,
+	correct model.Opinion, trace bool, r *rng.Rand) (CensusResult, error) {
+
+	if nm == nil {
+		return CensusResult{}, fmt.Errorf("core: nil noise matrix")
+	}
+	if correct < 0 || int(correct) >= nm.K() {
+		return CensusResult{}, fmt.Errorf("core: correct opinion %d out of range [0,%d)", correct, nm.K())
+	}
+	sched, err := NewSchedule(n, params)
+	if err != nil {
+		return CensusResult{}, err
+	}
+	eng, err := census.New(n, nm, r)
+	if err != nil {
+		return CensusResult{}, err
+	}
+	if err := eng.Init(initial); err != nil {
+		return CensusResult{}, err
+	}
+
+	res := CensusResult{Result: Result{FirstAllCorrect: -1}}
+	k := eng.K()
+	roundsDone := 0
+	record := func(stage, phase, rounds int) {
+		roundsDone += rounds
+		if res.FirstAllCorrect < 0 && eng.Consensus(int(correct)) {
+			res.FirstAllCorrect = roundsDone
+		}
+		if !trace {
+			return
+		}
+		counts := eng.Counts()
+		c := make([]float64, k)
+		for i, v := range counts {
+			c[i] = float64(v) / float64(n)
+		}
+		best := math.Inf(-1)
+		for i, v := range c {
+			if model.Opinion(i) != correct && v > best {
+				best = v
+			}
+		}
+		bias := 0.0
+		if k > 1 {
+			bias = c[correct] - best
+		}
+		res.Trace = append(res.Trace, PhaseStats{
+			Stage:       stage,
+			Phase:       phase,
+			Rounds:      rounds,
+			Opinionated: n - eng.Undecided(),
+			Dist:        c,
+			Bias:        bias,
+		})
+	}
+
+	for j, rounds := range sched.Stage1 {
+		if err := eng.Stage1Phase(rounds); err != nil {
+			return CensusResult{}, err
+		}
+		record(1, j, rounds)
+	}
+	for j, ph := range sched.Stage2 {
+		if err := eng.Stage2Phase(ph.Rounds, ph.SampleSize); err != nil {
+			return CensusResult{}, err
+		}
+		record(2, j, ph.Rounds)
+	}
+
+	res.Rounds = roundsDone
+	res.Final = eng.Counts()
+	res.Undecided = eng.Undecided()
+	res.ErrorBudget = eng.ErrorBudget()
+	res.Winner = model.Undecided
+	for i, c := range res.Final {
+		if c == n {
+			res.Winner = model.Opinion(i)
+			res.Consensus = true
+			res.Correct = res.Winner == correct
+			break
+		}
+	}
+	return res, nil
+}

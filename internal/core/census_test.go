@@ -1,0 +1,124 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// TestRunCensusGolden: a census protocol run — result, trace and
+// final census — is a pure function of the seed.
+func TestRunCensusGolden(t *testing.T) {
+	nm, err := noise.Uniform(3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams(0.25)
+	run := func(seed uint64) CensusResult {
+		res, err := RunCensus(50_000_000, nm, params, []int64{15_000_000, 12_000_000, 10_000_000}, 0, true, rng.New(seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(11), run(11)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed produced different census runs:\n%+v\n%+v", a, b)
+	}
+	if c := run(12); reflect.DeepEqual(a.Final, c.Final) && a.Rounds == c.Rounds && reflect.DeepEqual(a.Trace, c.Trace) {
+		t.Fatal("different seeds produced identical census runs")
+	}
+	// The trace must follow the derived schedule exactly.
+	sched, err := NewSchedule(50_000_000, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := len(sched.Stage1) + len(sched.Stage2); len(a.Trace) != want {
+		t.Fatalf("trace has %d phases, schedule has %d", len(a.Trace), want)
+	}
+	if a.Rounds != sched.TotalRounds() {
+		t.Fatalf("run reports %d rounds, schedule %d", a.Rounds, sched.TotalRounds())
+	}
+}
+
+// TestRunCensusElectsPlurality: a comfortably biased start at
+// n = 10⁹ must elect the plurality opinion, with the truncation
+// budget far below 1 and conservation intact.
+func TestRunCensusElectsPlurality(t *testing.T) {
+	nm, err := noise.Uniform(5, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 1_000_000_000
+	counts := []int64{n * 24 / 100, n * 19 / 100, n * 19 / 100, n * 19 / 100, n * 19 / 100}
+	res, err := RunCensus(n, nm, DefaultParams(0.25), counts, 0, false, rng.New(20160725))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Consensus || !res.Correct || res.Winner != 0 {
+		t.Fatalf("n=10⁹ sweep: consensus=%v correct=%v winner=%d", res.Consensus, res.Correct, res.Winner)
+	}
+	total := res.Undecided
+	for _, c := range res.Final {
+		total += c
+	}
+	if total != n {
+		t.Fatalf("final census sums to %d, want %d", total, n)
+	}
+	if res.ErrorBudget > 1e-2 {
+		t.Fatalf("truncation budget %g too large for a %d-node sweep", res.ErrorBudget, n)
+	}
+	if res.MaxCounter != 0 || res.MemoryBits != 0 {
+		t.Fatalf("census run reported per-node counters: %d/%d", res.MaxCounter, res.MemoryBits)
+	}
+}
+
+// TestScheduleInt64: schedule derivation must accept census-scale
+// populations (beyond int32, and beyond int on 32-bit builds) without
+// truncation — the n-plumbing regression for the aggregate engine.
+func TestScheduleInt64(t *testing.T) {
+	p := DefaultParams(0.25)
+	big, err := NewSchedule(1_000_000_000_000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := NewSchedule(1_000_000, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// ln n grows, so every n-dependent quantity must strictly grow.
+	if big.Stage1[0] <= small.Stage1[0] {
+		t.Fatalf("phase 0 did not grow with n: %d vs %d", big.Stage1[0], small.Stage1[0])
+	}
+	if len(big.Stage2) <= len(small.Stage2) {
+		t.Fatalf("stage-2 phase count did not grow with n: %d vs %d", len(big.Stage2), len(small.Stage2))
+	}
+	bigFinal := big.Stage2[len(big.Stage2)-1].SampleSize
+	smallFinal := small.Stage2[len(small.Stage2)-1].SampleSize
+	if bigFinal <= smallFinal {
+		t.Fatalf("final sample size did not grow with n: %d vs %d", bigFinal, smallFinal)
+	}
+	if bigFinal%2 == 0 {
+		t.Fatalf("final sample size %d not odd", bigFinal)
+	}
+}
+
+// TestRunCensusValidation: bad inputs error instead of panicking.
+func TestRunCensusValidation(t *testing.T) {
+	nm, err := noise.Uniform(3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams(0.25)
+	if _, err := RunCensus(1000, nm, params, []int64{1, 0, 0}, 7, false, rng.New(1)); err == nil {
+		t.Error("accepted out-of-range correct opinion")
+	}
+	if _, err := RunCensus(1, nm, params, []int64{1, 0, 0}, 0, false, rng.New(1)); err == nil {
+		t.Error("accepted n below the schedule minimum")
+	}
+	if _, err := RunCensus(1000, nm, params, []int64{600, 600, 0}, 0, false, rng.New(1)); err == nil {
+		t.Error("accepted counts beyond n")
+	}
+}

@@ -18,7 +18,7 @@ func TestScheduleWithinThetaBounds(t *testing.T) {
 		n := int(nRaw%1000000) + 100
 		eps := 0.05 + float64(epsRaw%900)/1000 // [0.05, 0.95)
 		p := DefaultParams(eps)
-		s, err := NewSchedule(n, p)
+		s, err := NewSchedule(int64(n), p)
 		if err != nil {
 			return false
 		}
@@ -39,7 +39,7 @@ func TestScheduleMonotoneInN(t *testing.T) {
 	p := DefaultParams(0.25)
 	prev := 0
 	for _, n := range []int{100, 1000, 10000, 100000, 1000000} {
-		s, err := NewSchedule(n, p)
+		s, err := NewSchedule(int64(n), p)
 		if err != nil {
 			t.Fatal(err)
 		}

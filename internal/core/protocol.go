@@ -21,8 +21,9 @@ type PhaseStats struct {
 	// Rounds is the phase length.
 	Rounds int
 	// Opinionated is the number of nodes holding an opinion at phase
-	// end.
-	Opinionated int
+	// end (int64: census traces describe populations beyond int range
+	// on 32-bit builds).
+	Opinionated int64
 	// Dist is the opinion distribution c at phase end (fractions of
 	// all nodes, summing to the opinionated fraction).
 	Dist []float64
@@ -79,7 +80,7 @@ func New(engine *model.Engine, params Params) (*Protocol, error) {
 	if engine == nil {
 		return nil, fmt.Errorf("core: nil engine")
 	}
-	sched, err := NewSchedule(engine.N(), params)
+	sched, err := NewSchedule(int64(engine.N()), params)
 	if err != nil {
 		return nil, err
 	}
@@ -183,7 +184,7 @@ func (p *Protocol) Run(initial []model.Opinion, correct model.Opinion) (Result, 
 			Stage:       stage,
 			Phase:       phase,
 			Rounds:      rounds,
-			Opinionated: n - und,
+			Opinionated: int64(n - und),
 			Dist:        c,
 			Bias:        bias,
 		})

@@ -161,7 +161,7 @@ func TestStage1TraceInvariants(t *testing.T) {
 	if len(res.Trace) != len(p.Schedule().Stage1)+len(p.Schedule().Stage2) {
 		t.Fatalf("trace has %d entries", len(res.Trace))
 	}
-	prevOpinionated := 0
+	prevOpinionated := int64(0)
 	stage1Phases := 0
 	for _, ph := range res.Trace {
 		if ph.Stage == 1 {

@@ -35,7 +35,11 @@ type Schedule struct {
 //	Stage 2: T′ = ⌈log₂(√n/ln n)⌉ (clamped to ≥ 1) phases of 2ℓ
 //	rounds with ℓ = ⌈c/ε²⌉ odd, then one phase of 2ℓ′ rounds with
 //	ℓ′ = ⌈c′·ln(n)/ε²⌉ odd.
-func NewSchedule(n int, p Params) (Schedule, error) {
+//
+// n is int64 so the census engine's n ≥ 10⁹ sweeps derive their
+// schedules without truncation on 32-bit builds (where int caps at
+// 2³¹−1); every quantity below depends on n only through float64(n).
+func NewSchedule(n int64, p Params) (Schedule, error) {
 	if err := p.Validate(); err != nil {
 		return Schedule{}, err
 	}

@@ -19,8 +19,25 @@ func SampleBinomial(r *rng.Rand, n int, p float64) int {
 	if n < 0 {
 		panic(fmt.Sprintf("dist: SampleBinomial with n=%d", n))
 	}
+	return int(SampleBinomial64(r, int64(n), p))
+}
+
+// SampleBinomial64 is SampleBinomial over an int64 trial count, the
+// form the aggregate census engine needs: a phase's per-opinion sent
+// multiset is counts·rounds, which exceeds 32-bit range long before
+// n = 10⁹. Both samplers work in float64 internally, so the only
+// requirement is n < 2⁵³ (where float64 still represents every
+// integer exactly); larger arguments panic rather than quietly losing
+// low bits.
+func SampleBinomial64(r *rng.Rand, n int64, p float64) int64 {
+	if n < 0 {
+		panic(fmt.Sprintf("dist: SampleBinomial64 with n=%d", n))
+	}
+	if n >= 1<<53 {
+		panic(fmt.Sprintf("dist: SampleBinomial64 with n=%d beyond exact float64 range", n))
+	}
 	if math.IsNaN(p) {
-		panic("dist: SampleBinomial with NaN p")
+		panic("dist: SampleBinomial64 with NaN p")
 	}
 	if n == 0 || p <= 0 {
 		return 0
@@ -35,7 +52,7 @@ func SampleBinomial(r *rng.Rand, n int, p float64) int {
 	if flip {
 		q = 1 - p
 	}
-	var x int
+	var x int64
 	if float64(n)*q < smallMeanThreshold {
 		x = binomialBINV(r, n, q)
 	} else {
@@ -49,12 +66,12 @@ func SampleBinomial(r *rng.Rand, n int, p float64) int {
 
 // binomialBINV is sequential CDF inversion, expected O(n·p) work.
 // Requires p ≤ 1/2 and n·p < smallMeanThreshold.
-func binomialBINV(r *rng.Rand, n int, p float64) int {
+func binomialBINV(r *rng.Rand, n int64, p float64) int64 {
 	s := p / (1 - p)
 	a := float64(n+1) * s
 	pmf0 := math.Exp(float64(n) * math.Log1p(-p)) // (1−p)^n, no underflow at n·p < 10
 	for {
-		x := 0
+		x := int64(0)
 		u := r.Float64()
 		cur := pmf0
 		ok := true
@@ -97,7 +114,7 @@ var stirlingTailTable = [10]float64{
 // binomialBTRS is Hörmann's transformed-rejection binomial sampler
 // (algorithm BTRS, 1993): O(1) expected uniforms per draw. Requires
 // p ≤ 1/2 and n·p ≥ smallMeanThreshold.
-func binomialBTRS(r *rng.Rand, n int, p float64) int {
+func binomialBTRS(r *rng.Rand, n int64, p float64) int64 {
 	nf := float64(n)
 	spq := math.Sqrt(nf * p * (1 - p))
 	b := 1.15 + 2.53*spq
@@ -118,7 +135,7 @@ func binomialBTRS(r *rng.Rand, n int, p float64) int {
 		// Squeeze: the dominating density's central region accepts
 		// without evaluating the pmf.
 		if us >= 0.07 && v <= vr {
-			return int(kf)
+			return int64(kf)
 		}
 		lv := math.Log(v * alpha / (a/(us*us) + b))
 		ub := (m+0.5)*math.Log((m+1)/(odds*(nf-m+1))) +
@@ -127,7 +144,7 @@ func binomialBTRS(r *rng.Rand, n int, p float64) int {
 			stirlingTail(m) + stirlingTail(nf-m) -
 			stirlingTail(kf) - stirlingTail(nf-kf)
 		if lv <= ub {
-			return int(kf)
+			return int64(kf)
 		}
 	}
 }

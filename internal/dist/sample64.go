@@ -1,0 +1,87 @@
+package dist
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// SampleMultinomial64 draws Multinomial(n, probs) into out (len(out)
+// == len(probs)) by sequential conditional binomials, exactly like
+// SampleMultinomial but over int64 counts. The aggregate census
+// engine's per-class transition draw is one call per opinion class
+// with n up to population·rounds, far beyond int32 range.
+func SampleMultinomial64(r *rng.Rand, n int64, probs []float64, out []int64) {
+	k := len(probs)
+	if len(out) != k {
+		panic(fmt.Sprintf("dist: SampleMultinomial64 with %d probs, %d outputs", k, len(out)))
+	}
+	if n < 0 {
+		panic(fmt.Sprintf("dist: SampleMultinomial64 with n=%d", n))
+	}
+	total := 0.0
+	for i, p := range probs {
+		if p < 0 || math.IsNaN(p) {
+			panic(fmt.Sprintf("dist: SampleMultinomial64 with probs[%d]=%v", i, p))
+		}
+		total += p
+	}
+	if total <= 0 {
+		panic("dist: SampleMultinomial64 with zero total probability")
+	}
+	remaining := n
+	remMass := total
+	for i := 0; i < k; i++ {
+		if remaining == 0 || remMass <= 0 {
+			out[i] = 0
+			continue
+		}
+		if i == k-1 {
+			out[i] = remaining
+			remaining = 0
+			continue
+		}
+		p := probs[i] / remMass
+		if p > 1 {
+			p = 1
+		}
+		c := SampleBinomial64(r, remaining, p)
+		out[i] = c
+		remaining -= c
+		remMass -= probs[i]
+	}
+	// Float error can leave remMass ≈ 0 with remaining > 0 before the
+	// last cell; dump any residue into the final category, which by
+	// construction is the only one left with mass.
+	if remaining > 0 {
+		out[k-1] += remaining
+	}
+}
+
+// PoissonSurvival returns Pr(X ≥ k) for X ~ Poisson(mu), stable for
+// any mean: via the gamma identity Pr(Poisson(μ) ≥ k) = P(k, μ), the
+// lower regularized incomplete gamma function. PoissonCDF's forward
+// PMF recurrence starts at e^(−μ) and underflows to an all-zero tail
+// for μ ≳ 745; the census engine's Stage-2 update probability needs
+// μ ≈ 2ℓ′ ≈ 10³ at n = 10⁹, which this form handles to full float64
+// precision at both ends (tiny survivals are computed directly, never
+// as 1 − CDF).
+func PoissonSurvival(mu float64, k int64) float64 {
+	if mu < 0 || math.IsNaN(mu) || math.IsInf(mu, 0) {
+		panic(fmt.Sprintf("dist: PoissonSurvival with mu=%v", mu))
+	}
+	if k <= 0 {
+		return 1
+	}
+	if mu == 0 {
+		return 0
+	}
+	a := float64(k)
+	if mu < a+1 {
+		// Small-x branch: the series gives P(a, x) directly, so tiny
+		// survival probabilities keep full relative precision.
+		return gammaPSeries(a, mu)
+	}
+	return 1 - gammaQCF(a, mu)
+}

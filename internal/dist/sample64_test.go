@@ -1,0 +1,166 @@
+package dist
+
+import (
+	"math"
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/rng"
+)
+
+// TestSampleBinomial64Moments: means and variances at counts far
+// beyond int32 range stay where the binomial puts them.
+func TestSampleBinomial64Moments(t *testing.T) {
+	r := rng.New(101)
+	const (
+		n     = int64(2_000_000_000_000) // 2·10¹², the census phase-budget scale
+		p     = 0.3
+		draws = 2000
+	)
+	mean := float64(n) * p
+	sd := math.Sqrt(float64(n) * p * (1 - p))
+	sum, sumSq := 0.0, 0.0
+	for i := 0; i < draws; i++ {
+		x := float64(SampleBinomial64(r, n, p))
+		d := (x - mean) / sd
+		sum += d
+		sumSq += d * d
+	}
+	if m := sum / draws; math.Abs(m) > 5/math.Sqrt(draws) {
+		t.Fatalf("standardized mean %v too far from 0", m)
+	}
+	if v := sumSq / draws; v < 0.8 || v > 1.25 {
+		t.Fatalf("standardized variance %v too far from 1", v)
+	}
+}
+
+// TestSampleBinomial64SmallMean exercises the BINV branch at huge n
+// with tiny p (the sparse census regime).
+func TestSampleBinomial64SmallMean(t *testing.T) {
+	r := rng.New(7)
+	const (
+		n     = int64(1_000_000_000_000)
+		p     = 2e-12 // mean 2
+		draws = 20000
+	)
+	sum := 0
+	for i := 0; i < draws; i++ {
+		x := SampleBinomial64(r, n, p)
+		if x < 0 || x > n {
+			t.Fatalf("draw %d outside support", x)
+		}
+		sum += int(x)
+	}
+	mean := float64(sum) / draws
+	if math.Abs(mean-2) > 0.1 {
+		t.Fatalf("mean %v, want ≈ 2", mean)
+	}
+}
+
+// TestSampleBinomial64MatchesInt: the int wrapper is the int64
+// sampler bit for bit.
+func TestSampleBinomial64MatchesInt(t *testing.T) {
+	a, b := rng.New(33), rng.New(33)
+	for i := 0; i < 500; i++ {
+		x := SampleBinomial(a, 1000, 0.37)
+		y := SampleBinomial64(b, 1000, 0.37)
+		if int64(x) != y {
+			t.Fatalf("draw %d: SampleBinomial=%d SampleBinomial64=%d", i, x, y)
+		}
+	}
+}
+
+func TestSampleBinomial64Guards(t *testing.T) {
+	r := rng.New(1)
+	for _, fn := range []func(){
+		func() { SampleBinomial64(r, -1, 0.5) },
+		func() { SampleBinomial64(r, 1<<53, 0.5) },
+		func() { SampleBinomial64(r, 10, math.NaN()) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	if SampleBinomial64(r, 0, 0.5) != 0 || SampleBinomial64(r, 5, 0) != 0 || SampleBinomial64(r, 5, 1) != 5 {
+		t.Fatal("edge cases wrong")
+	}
+}
+
+// TestSampleMultinomial64 conserves the total and respects zero-mass
+// categories at census scale.
+func TestSampleMultinomial64(t *testing.T) {
+	r := rng.New(55)
+	probs := []float64{0.5, 0.3, 0, 0.2}
+	out := make([]int64, 4)
+	const n = int64(3_000_000_000_000)
+	for i := 0; i < 50; i++ {
+		SampleMultinomial64(r, n, probs, out)
+		total := int64(0)
+		for j, c := range out {
+			if c < 0 {
+				t.Fatalf("negative cell %d", c)
+			}
+			if j == 2 && c != 0 {
+				t.Fatalf("zero-probability category drew %d", c)
+			}
+			total += c
+		}
+		if total != n {
+			t.Fatalf("cells sum to %d, want %d", total, n)
+		}
+	}
+	// First-cell mean sanity.
+	sum := 0.0
+	for i := 0; i < 200; i++ {
+		SampleMultinomial64(r, 1_000_000, probs, out)
+		sum += float64(out[0])
+	}
+	if mean := sum / 200; math.Abs(mean-500_000) > 2000 {
+		t.Fatalf("first-cell mean %v, want ≈ 500000", mean)
+	}
+}
+
+// TestPoissonSurvival: agrees with the PMF-recurrence CDF where that
+// is stable, stays stable far beyond it, and telescopes with the PMF.
+func TestPoissonSurvival(t *testing.T) {
+	for _, mu := range []float64{0.5, 3, 40, 700} {
+		for k := int64(0); k <= 20; k += 5 {
+			got := PoissonSurvival(mu, k)
+			want := 1 - PoissonCDF(mu, int(k)-1)
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("mu=%v k=%d: survival %v vs 1−CDF %v", mu, k, got, want)
+			}
+		}
+	}
+	// μ = 1330 ≈ the 2ℓ′ regime at n = 10⁹: PoissonCDF underflows to
+	// 0 here, the gamma form must not.
+	const mu = 1330.0
+	if got := PoissonSurvival(mu, 1330); got < 0.45 || got > 0.55 {
+		t.Fatalf("survival at the mean = %v, want ≈ 1/2", got)
+	}
+	if got := PoissonSurvival(mu, 600); got < 1-1e-9 {
+		t.Fatalf("survival far below the mean = %v, want ≈ 1", got)
+	}
+	if got := PoissonSurvival(mu, 2200); got <= 0 || got > 1e-80 {
+		t.Fatalf("survival far above the mean = %v, want tiny but positive", got)
+	}
+	// Telescoping: survival(k) − survival(k+1) = pmf(k).
+	for _, k := range []int64{1200, 1330, 1500} {
+		diff := PoissonSurvival(mu, k) - PoissonSurvival(mu, k+1)
+		pmf := PoissonPMF(mu, int(k))
+		if math.Abs(diff-pmf) > 1e-12 {
+			t.Fatalf("k=%d: survival difference %v vs pmf %v", k, diff, pmf)
+		}
+	}
+	// Edges.
+	if PoissonSurvival(5, 0) != 1 || PoissonSurvival(5, -3) != 1 {
+		t.Fatal("k ≤ 0 must have survival 1")
+	}
+	if PoissonSurvival(0, 1) != 0 {
+		t.Fatal("mu = 0 must have survival 0 for k ≥ 1")
+	}
+}

@@ -3,6 +3,7 @@ package model
 import (
 	"fmt"
 	"math"
+	"strings"
 
 	"github.com/gossipkit/noisyrumor/internal/dist"
 	"github.com/gossipkit/noisyrumor/internal/noise"
@@ -13,11 +14,21 @@ import (
 // engine simulates (see the package comment).
 type Process int
 
-// The three processes of Section 3.2.
+// The three processes of Section 3.2, plus the aggregate census
+// engine that samples process P's census chain without per-node
+// state.
 const (
 	ProcessO Process = iota // real uniform push (default)
 	ProcessB                // balls-into-bins, Definition 3
 	ProcessP                // independent Poisson, Definition 4
+	// ProcessCensus selects the n-independent aggregate engine of
+	// internal/census: the opinion census evolves as a k-dimensional
+	// Markov chain under Poissonization, one multinomial transition
+	// draw per class per phase. It is a selector only — this package's
+	// per-node Engine rejects it, and internal/core routes census runs
+	// to census.Engine (which keeps no per-node state, so n ≥ 10⁹ is
+	// in range).
+	ProcessCensus
 )
 
 // String names the process.
@@ -29,10 +40,32 @@ func (p Process) String() string {
 		return "B"
 	case ProcessP:
 		return "P"
+	case ProcessCensus:
+		return "census"
 	default:
 		return fmt.Sprintf("Process(%d)", int(p))
 	}
 }
+
+// ProcessByName resolves an -engine flag value. The empty string
+// selects the default ProcessO.
+func ProcessByName(name string) (Process, error) {
+	switch strings.ToLower(name) {
+	case "", "o":
+		return ProcessO, nil
+	case "b":
+		return ProcessB, nil
+	case "p":
+		return ProcessP, nil
+	case "census":
+		return ProcessCensus, nil
+	default:
+		return 0, fmt.Errorf("model: unknown engine %q (have O, B, P, census)", name)
+	}
+}
+
+// ProcessNames lists the accepted -engine flag values.
+func ProcessNames() []string { return []string{"O", "B", "P", "census"} }
 
 // PhaseResult exposes one phase's deliveries. The slices alias engine
 // buffers and are valid only until the next RunPhase call.
@@ -85,6 +118,8 @@ func NewEngine(n int, nm *noise.Matrix, proc Process, r *rng.Rand) (*Engine, err
 	}
 	switch proc {
 	case ProcessO, ProcessB, ProcessP:
+	case ProcessCensus:
+		return nil, fmt.Errorf("model: the census engine keeps no per-node state; route it through internal/census (core.RunCensus), not NewEngine")
 	default:
 		return nil, fmt.Errorf("model: unknown process %d", int(proc))
 	}

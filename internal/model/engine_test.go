@@ -40,6 +40,9 @@ func TestNewEngineValidation(t *testing.T) {
 	if _, err := NewEngine(5, nm, Process(9), r); err == nil {
 		t.Fatal("bad process accepted")
 	}
+	if _, err := NewEngine(5, nm, ProcessCensus, r); err == nil {
+		t.Fatal("census selector accepted by the per-node engine (it must route through internal/census)")
+	}
 	if _, err := NewEngine(5, nm, ProcessO, nil); err == nil {
 		t.Fatal("nil rng accepted")
 	}
@@ -314,8 +317,29 @@ func TestProcessString(t *testing.T) {
 	if ProcessO.String() != "O" || ProcessB.String() != "B" || ProcessP.String() != "P" {
 		t.Fatal("process names wrong")
 	}
+	if ProcessCensus.String() != "census" {
+		t.Fatalf("census selector renders as %q", ProcessCensus)
+	}
 	if Process(42).String() == "" {
 		t.Fatal("unknown process name empty")
+	}
+}
+
+func TestProcessByName(t *testing.T) {
+	for name, want := range map[string]Process{
+		"": ProcessO, "O": ProcessO, "o": ProcessO,
+		"B": ProcessB, "p": ProcessP, "census": ProcessCensus, "CENSUS": ProcessCensus,
+	} {
+		got, err := ProcessByName(name)
+		if err != nil || got != want {
+			t.Fatalf("ProcessByName(%q) = %v, %v; want %v", name, got, err, want)
+		}
+	}
+	if _, err := ProcessByName("quantum"); err == nil {
+		t.Fatal("unknown engine name accepted")
+	}
+	if len(ProcessNames()) != 4 {
+		t.Fatalf("ProcessNames() = %v", ProcessNames())
 	}
 }
 

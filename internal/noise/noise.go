@@ -176,6 +176,30 @@ func (m *Matrix) SplitCounts(r *rng.Rand, sent []int, dst, scratch []int) {
 	}
 }
 
+// SplitCounts64 is SplitCounts over int64 multisets: the census
+// engine's sent counts are population·rounds, beyond int32 (and, on
+// 32-bit builds, beyond int) range long before n = 10⁹. Same exact
+// law, same stream consumption pattern: one k-way multinomial draw
+// per opinion row, rows in index order.
+func (m *Matrix) SplitCounts64(r *rng.Rand, sent []int64, dst, scratch []int64) {
+	if len(sent) != m.k || len(dst) != m.k || len(scratch) != m.k {
+		panic(fmt.Sprintf("noise: SplitCounts64 with lengths %d/%d/%d on a %d-matrix",
+			len(sent), len(dst), len(scratch), m.k))
+	}
+	for j := range dst {
+		dst[j] = 0
+	}
+	for i, h := range sent {
+		if h == 0 {
+			continue
+		}
+		dist.SampleMultinomial64(r, h, m.p[i*m.k:(i+1)*m.k], scratch)
+		for j, c := range scratch {
+			dst[j] += c
+		}
+	}
+}
+
 // String renders the matrix with 4-decimal entries.
 func (m *Matrix) String() string {
 	s := ""

@@ -51,7 +51,7 @@ func RunE15(cfg Config) (*Report, error) {
 				params := core.DefaultParams(eps)
 				params.C = c
 				params.Stage2ExtraPhases = extra
-				sched, err := core.NewSchedule(n, params)
+				sched, err := core.NewSchedule(int64(n), params)
 				if err != nil {
 					return nil, err
 				}
@@ -116,7 +116,7 @@ func RunE16(cfg Config) (*Report, error) {
 				return nil, err
 			}
 			params := core.DefaultParams(eps)
-			sched, err := core.NewSchedule(n, params)
+			sched, err := core.NewSchedule(int64(n), params)
 			if err != nil {
 				return nil, err
 			}

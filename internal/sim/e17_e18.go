@@ -56,7 +56,7 @@ func RunE17(cfg Config) (*Report, error) {
 		if scale < 1 {
 			params.Stage2ExtraPhases = 0
 		}
-		sched, err := core.NewSchedule(n, params)
+		sched, err := core.NewSchedule(int64(n), params)
 		if err != nil {
 			return nil, err
 		}
@@ -118,7 +118,7 @@ func RunE18(cfg Config) (*Report, error) {
 	// jittered runner), so honor the harness backend axis here the way
 	// runProtocol does.
 	params.Backend = cfg.Backend
-	sched, err := core.NewSchedule(n, params)
+	sched, err := core.NewSchedule(int64(n), params)
 	if err != nil {
 		return nil, err
 	}

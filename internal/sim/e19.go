@@ -41,7 +41,7 @@ func RunE19(cfg Config) (*Report, error) {
 	// adversarial runner), so honor the harness backend axis here the
 	// way runProtocol does.
 	params.Backend = cfg.Backend
-	sched, err := core.NewSchedule(n, params)
+	sched, err := core.NewSchedule(int64(n), params)
 	if err != nil {
 		return nil, err
 	}

@@ -116,7 +116,7 @@ func RunE10(cfg Config) (*Report, error) {
 			return nil, err
 		}
 		params := core.DefaultParams(eps)
-		sched, err := core.NewSchedule(n, params)
+		sched, err := core.NewSchedule(int64(n), params)
 		if err != nil {
 			return nil, err
 		}

@@ -8,7 +8,7 @@ import (
 
 // Report is the rendered outcome of one experiment.
 type Report struct {
-	// ID is the experiment identifier (E1…E19).
+	// ID is the experiment identifier (E1…E20).
 	ID string
 	// Title is a one-line description.
 	Title string
@@ -92,6 +92,7 @@ func Registry() []Experiment {
 		{ID: "E17", Title: "Round-budget necessity (Ω(log n/ε²) lower bound)", Run: RunE17},
 		{ID: "E18", Title: "Clock-jitter robustness (footnote 3)", Run: RunE18},
 		{ID: "E19", Title: "Adversarial fault tolerance (O(√n) yardstick)", Run: RunE19},
+		{ID: "E20", Title: "Aggregate census engine: exactness and n ≥ 10⁹ sweeps", Run: RunE20},
 	}
 	sort.SliceStable(exps, func(i, j int) bool {
 		return idOrder(exps[i].ID) < idOrder(exps[j].ID)

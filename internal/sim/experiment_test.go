@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	exps := Registry()
-	if len(exps) != 19 {
-		t.Fatalf("registry has %d experiments, want 19", len(exps))
+	if len(exps) != 20 {
+		t.Fatalf("registry has %d experiments, want 20", len(exps))
 	}
 	seen := map[string]bool{}
 	for i, e := range exps {
@@ -356,5 +356,24 @@ func TestE19QuickFaultTolerance(t *testing.T) {
 	// Light corruption (0.05·F*) must keep the plurality.
 	if f := successFraction(t, tab.Cell(1, 5)); f < 0.75 {
 		t.Fatalf("plurality lost at 0.05·F*: %v", f)
+	}
+}
+
+func TestE20QuickCensusEquivalenceAndScale(t *testing.T) {
+	t.Parallel()
+	rep := runQuick(t, "E20")
+	// Table 1: every chi-square verdict must stay indistinguishable.
+	tab := rep.Tables[0]
+	for i := 0; i < tab.NumRows(); i++ {
+		if v := tab.Cell(i, 3); v != "indistinguishable" {
+			t.Fatalf("census-vs-P %s/%s verdict %q", tab.Cell(i, 0), tab.Cell(i, 1), v)
+		}
+	}
+	// Scale findings: the n=10⁹-phase-vs-batch-phase comparison must
+	// pass and the sweep must elect the correct plurality.
+	for _, f := range rep.Findings {
+		if strings.Contains(f, "FAIL") || strings.Contains(f, "correct: false") {
+			t.Fatalf("E20 verdict failed: %s", f)
+		}
 	}
 }

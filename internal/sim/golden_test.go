@@ -14,26 +14,28 @@ func TestExperimentGoldenAcrossWorkerCounts(t *testing.T) {
 	if !ok {
 		t.Fatal("E1 not registered")
 	}
-	run := func(workers int, backend string, threads int) string {
-		rep, err := e.Run(Config{Seed: 42, Quick: true, Workers: workers, Backend: backend, Threads: threads})
+	run := func(workers int, engine, backend string, threads int) string {
+		rep, err := e.Run(Config{Seed: 42, Quick: true, Workers: workers, Engine: engine, Backend: backend, Threads: threads})
 		if err != nil {
 			t.Fatal(err)
 		}
 		return rep.Text()
 	}
 	for _, bc := range []struct {
+		engine  string
 		backend string
 		threads int
 	}{
-		{"loop", 0},
-		{"batch", 0},
-		{"parallel", 2},
+		{"", "loop", 0},
+		{"", "batch", 0},
+		{"", "parallel", 2},
+		{"census", "", 0}, // aggregate engine: trials fan out the same way
 	} {
-		one := run(1, bc.backend, bc.threads)
-		eight := run(8, bc.backend, bc.threads)
+		one := run(1, bc.engine, bc.backend, bc.threads)
+		eight := run(8, bc.engine, bc.backend, bc.threads)
 		if one != eight {
-			t.Errorf("backend %s threads %d: report differs between Workers=1 and Workers=8:\n--- 1 worker ---\n%s\n--- 8 workers ---\n%s",
-				bc.backend, bc.threads, one, eight)
+			t.Errorf("engine %q backend %q threads %d: report differs between Workers=1 and Workers=8:\n--- 1 worker ---\n%s\n--- 8 workers ---\n%s",
+				bc.engine, bc.backend, bc.threads, one, eight)
 		}
 	}
 }

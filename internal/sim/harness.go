@@ -1,6 +1,6 @@
 // Package sim is the experiment harness of the reproduction: a
 // deterministic parallel trial runner, table rendering (text, markdown
-// and CSV), and the registry of validation experiments E1–E19 defined
+// and CSV), and the registry of validation experiments E1–E20 defined
 // in DESIGN.md §3, each of which checks one of the paper's claims
 // (theorems, lemmas, examples or appendix discussions) against
 // simulation or exact computation.
@@ -31,6 +31,12 @@ type Config struct {
 	// runs on ("loop", "batch", "parallel"; empty = loop). Experiments
 	// that explicitly compare backends or processes ignore it.
 	Backend string
+	// Engine names the communication engine every protocol trial runs
+	// on ("O", "B", "P", "census"; empty = O). "census" advances each
+	// trial on the aggregate opinion-census engine (n-independent
+	// per-phase cost; per-node memory observables report zero).
+	// Experiments that explicitly compare engines ignore it.
+	Engine string
 	// Threads bounds the "parallel" backend's intra-phase worker count
 	// per trial (0 = GOMAXPROCS; other backends ignore it). This is
 	// orthogonal to Workers, which parallelizes across trials: small

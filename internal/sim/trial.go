@@ -21,10 +21,10 @@ type outcome struct {
 	err        error
 }
 
-// runProtocol executes one protocol trial on the backend named by cfg
-// (params.Backend, when set, wins — experiments that pin a backend do
-// so through Params). Errors are carried in the outcome so Parallel
-// trials can surface them after the fan-in.
+// runProtocol executes one protocol trial on the engine and backend
+// named by cfg (params.Backend, when set, wins — experiments that pin
+// a backend do so through Params). Errors are carried in the outcome
+// so Parallel trials can surface them after the fan-in.
 func runProtocol(cfg Config, r *rng.Rand, n int, nm *noise.Matrix, params core.Params,
 	initial []model.Opinion, correct model.Opinion, trace bool) outcome {
 
@@ -34,7 +34,14 @@ func runProtocol(cfg Config, r *rng.Rand, n int, nm *noise.Matrix, params core.P
 	if params.Threads == 0 {
 		params.Threads = cfg.Threads
 	}
-	eng, err := model.NewEngine(n, nm, model.ProcessO, r)
+	proc, err := model.ProcessByName(cfg.Engine)
+	if err != nil {
+		return outcome{err: err}
+	}
+	if proc == model.ProcessCensus {
+		return runCensusProtocol(r, int64(n), nm, params, initial, correct, trace)
+	}
+	eng, err := model.NewEngine(n, nm, proc, r)
 	if err != nil {
 		return outcome{err: err}
 	}
@@ -59,6 +66,36 @@ func runProtocol(cfg Config, r *rng.Rand, n int, nm *noise.Matrix, params core.P
 		maxCounter: res.MaxCounter,
 		memoryBits: res.MemoryBits,
 		trace:      res.Trace,
+	}
+}
+
+// runCensusProtocol executes one protocol trial on the aggregate
+// census engine: the initial per-node vector is summarized by its
+// opinion census and the whole schedule advances with n-independent
+// per-phase cost. The per-node memory observables (maxCounter,
+// memoryBits) are zero — the census engine keeps no per-node state.
+func runCensusProtocol(r *rng.Rand, n int64, nm *noise.Matrix, params core.Params,
+	initial []model.Opinion, correct model.Opinion, trace bool) outcome {
+
+	ints, _ := model.CountOpinions(initial, nm.K())
+	counts := make([]int64, nm.K())
+	for i, c := range ints {
+		counts[i] = int64(c)
+	}
+	res, err := core.RunCensus(n, nm, params, counts, correct, trace, r)
+	if err != nil {
+		return outcome{err: err}
+	}
+	rounds := res.Rounds
+	if res.FirstAllCorrect >= 0 {
+		rounds = res.FirstAllCorrect
+	}
+	return outcome{
+		correct:   res.Correct,
+		consensus: res.Consensus,
+		rounds:    rounds,
+		scheduled: res.Rounds,
+		trace:     res.Trace,
 	}
 }
 

@@ -108,7 +108,9 @@ func Bias(c []float64, win int) float64 { return noise.Bias(c, win) }
 // faithful fast path: O costs O(rounds·n) per phase, B costs O(n·k).
 // ProcessP (Poissonization, Definition 4) is the analysis device of
 // Lemma 3 and is exposed for experimentation; it is an approximation,
-// not an exact coupling.
+// not an exact coupling. ProcessCensus samples process P's opinion
+// census directly — per-phase cost independent of n — and is the only
+// engine whose population range extends beyond addressable memory.
 type Process = model.Process
 
 // Engine choices.
@@ -119,15 +121,28 @@ const (
 	ProcessB = model.ProcessB
 	// ProcessP draws independent Poisson message counts per node.
 	ProcessP = model.ProcessP
+	// ProcessCensus advances the k-dimensional opinion census as a
+	// Markov chain (internal/census): one exact multinomial transition
+	// draw per opinion class per phase, O(k²·poly) per phase
+	// regardless of N — the n ≥ 10⁹ engine. It tracks no per-node
+	// state, so Result.MaxCounter/MemoryBits are zero and per-node
+	// initial vectors are summarized by their census.
+	ProcessCensus = model.ProcessCensus
 )
+
+// Engines lists the accepted engine selector names (O, B, P, census).
+func Engines() []string { return model.ProcessNames() }
 
 // Backends lists the accepted Config.Backend values.
 func Backends() []string { return model.BackendNames() }
 
 // Config configures a protocol run.
 type Config struct {
-	// N is the number of agents (≥ 2).
-	N int
+	// N is the number of agents (≥ 2). int64: the census engine
+	// simulates populations far beyond both addressable memory and,
+	// on 32-bit builds, the int range; per-node engines additionally
+	// require N to fit the platform int (they allocate O(N·k) state).
+	N int64
 	// Noise is the channel matrix; its dimension fixes k.
 	Noise *NoiseMatrix
 	// Params are the protocol constants. The zero value selects
@@ -194,9 +209,31 @@ func (c Config) params() Params {
 // Run executes the full two-stage protocol from an arbitrary initial
 // opinion vector (length N; Undecided entries are silent agents) and
 // reports the outcome relative to the designated correct opinion.
+//
+// Under Engine: ProcessCensus the initial vector is summarized by its
+// opinion census and the run advances in aggregate (the vector form
+// caps N at a slice length; use RunCensus to reach n ≥ 10⁹).
 func Run(cfg Config, initial []Opinion, correct Opinion) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
+	}
+	if cfg.Engine == ProcessCensus {
+		if int64(len(initial)) != cfg.N {
+			return Result{}, fmt.Errorf("noisyrumor: %d initial opinions for %d agents", len(initial), cfg.N)
+		}
+		k := cfg.Noise.K()
+		for i, o := range initial {
+			if o != Undecided && (o < 0 || int(o) >= k) {
+				return Result{}, fmt.Errorf("noisyrumor: agent %d has invalid opinion %d", i, o)
+			}
+		}
+		ints, _ := model.CountOpinions(initial, k)
+		counts := make([]int64, k)
+		for i, c := range ints {
+			counts[i] = int64(c)
+		}
+		res, err := RunCensus(cfg, counts, correct)
+		return res.Result, err
 	}
 	params := cfg.params()
 	// Fold the top-level knobs into the protocol parameters so backend
@@ -208,7 +245,11 @@ func Run(cfg Config, initial []Opinion, correct Opinion) (Result, error) {
 	if params.Threads == 0 {
 		params.Threads = cfg.Threads
 	}
-	eng, err := model.NewEngine(cfg.N, cfg.Noise, cfg.Engine, rng.New(cfg.Seed))
+	n, err := perNodeN(cfg.N)
+	if err != nil {
+		return Result{}, err
+	}
+	eng, err := model.NewEngine(n, cfg.Noise, cfg.Engine, rng.New(cfg.Seed))
 	if err != nil {
 		return Result{}, err
 	}
@@ -220,6 +261,29 @@ func Run(cfg Config, initial []Opinion, correct Opinion) (Result, error) {
 	return p.Run(initial, correct)
 }
 
+// CensusResult reports a census-engine run: the shared Result fields
+// plus the final census and the truncation error budget.
+type CensusResult = core.CensusResult
+
+// RunCensus executes the full two-stage protocol on the aggregate
+// census engine (Engine: ProcessCensus is implied): counts[i] agents
+// start with opinion i, the remaining N − Σcounts are undecided, and
+// the outcome is judged against the designated correct opinion. Each
+// phase costs O(k²·poly(sample window)) regardless of N, so
+// N = 10⁹ (and beyond) completes in seconds. Config.Backend/Threads
+// are ignored — the census engine has no per-node sampling to
+// parallelize.
+func RunCensus(cfg Config, counts []int64, correct Opinion) (CensusResult, error) {
+	if err := cfg.validate(); err != nil {
+		return CensusResult{}, err
+	}
+	if len(counts) != cfg.Noise.K() {
+		return CensusResult{}, fmt.Errorf("noisyrumor: %d opinion counts for a %d-opinion noise matrix",
+			len(counts), cfg.Noise.K())
+	}
+	return core.RunCensus(cfg.N, cfg.Noise, cfg.params(), counts, correct, cfg.Trace, rng.New(cfg.Seed))
+}
+
 // RumorSpreading runs the noisy rumor-spreading problem (Theorem 1):
 // one source agent holds the correct opinion, everyone else is
 // undecided.
@@ -227,7 +291,21 @@ func RumorSpreading(cfg Config, correct Opinion) (Result, error) {
 	if err := cfg.validate(); err != nil {
 		return Result{}, err
 	}
-	initial, err := model.InitRumor(cfg.N, cfg.Noise.K(), correct)
+	if cfg.Engine == ProcessCensus {
+		k := cfg.Noise.K()
+		if correct < 0 || int(correct) >= k {
+			return Result{}, fmt.Errorf("noisyrumor: source opinion %d out of range [0,%d)", correct, k)
+		}
+		counts := make([]int64, k)
+		counts[correct] = 1
+		res, err := RunCensus(cfg, counts, correct)
+		return res.Result, err
+	}
+	n, err := perNodeN(cfg.N)
+	if err != nil {
+		return Result{}, err
+	}
+	initial, err := model.InitRumor(n, cfg.Noise.K(), correct)
 	if err != nil {
 		return Result{}, err
 	}
@@ -247,7 +325,31 @@ func PluralityConsensus(cfg Config, counts []int) (Result, error) {
 		return Result{}, fmt.Errorf("noisyrumor: %d opinion counts for a %d-opinion noise matrix",
 			len(counts), cfg.Noise.K())
 	}
-	initial, err := model.InitPlurality(cfg.N, counts)
+	if cfg.Engine == ProcessCensus {
+		plurality, strict := pluralityOfCounts(counts)
+		if !strict {
+			return Result{}, fmt.Errorf("noisyrumor: initial counts %v have no strict plurality", counts)
+		}
+		wide := make([]int64, len(counts))
+		total := int64(0)
+		for i, c := range counts {
+			if c < 0 {
+				return Result{}, fmt.Errorf("noisyrumor: counts[%d] = %d negative", i, c)
+			}
+			wide[i] = int64(c)
+			total += int64(c)
+		}
+		if total > cfg.N {
+			return Result{}, fmt.Errorf("noisyrumor: counts sum to %d > N=%d", total, cfg.N)
+		}
+		res, err := RunCensus(cfg, wide, plurality)
+		return res.Result, err
+	}
+	n, err := perNodeN(cfg.N)
+	if err != nil {
+		return Result{}, err
+	}
+	initial, err := model.InitPlurality(n, counts)
 	if err != nil {
 		return Result{}, err
 	}
@@ -258,7 +360,37 @@ func PluralityConsensus(cfg Config, counts []int) (Result, error) {
 	return Run(cfg, initial, plurality)
 }
 
+// perNodeN narrows Config.N for the per-node engines, which size
+// O(N·k) buffers with int indices. On 64-bit hosts the check is moot;
+// on 32-bit builds it turns what would be a silent truncation into an
+// actionable error.
+func perNodeN(n int64) (int, error) {
+	if int64(int(n)) != n {
+		return 0, fmt.Errorf("noisyrumor: N=%d exceeds the per-node engines' int range; use Engine: ProcessCensus", n)
+	}
+	return int(n), nil
+}
+
+// pluralityOfCounts returns the strict-argmax opinion of an initial
+// count vector without materializing a per-node state.
+func pluralityOfCounts(counts []int) (Opinion, bool) {
+	best, bestCount, ties := Opinion(Undecided), -1, 0
+	for i, v := range counts {
+		switch {
+		case v > bestCount:
+			best, bestCount, ties = Opinion(i), v, 1
+		case v == bestCount:
+			ties++
+		}
+	}
+	if bestCount <= 0 {
+		return Undecided, false
+	}
+	return best, ties == 1
+}
+
 // NewSchedule exposes the deterministic phase structure the protocol
 // would use for n agents under the given parameters — useful for
-// budgeting rounds before running.
-func NewSchedule(n int, p Params) (Schedule, error) { return core.NewSchedule(n, p) }
+// budgeting rounds before running. n is int64 so census-scale sweeps
+// can be budgeted on any platform.
+func NewSchedule(n int64, p Params) (Schedule, error) { return core.NewSchedule(n, p) }
