@@ -8,7 +8,7 @@ GO ?= go
 # census engine (n-independent, so even its n=10⁹ phases are CI-fast).
 # The n=10⁵/10⁷ headline benches are excluded here and run by
 # `make bench-json`.
-QUICK_BENCH := 'BenchmarkE[0-9]+|BenchmarkPhase(Process|(Batch|Parallel)(Process|.*LargeN))|BenchmarkCensusPhase'
+QUICK_BENCH := 'BenchmarkE[0-9]+|BenchmarkPhase(Process|(Batch|Parallel)(Process|.*LargeN))|BenchmarkCensusPhase|BenchmarkSweep'
 
 # Headline perf-trajectory benches recorded in BENCH_<n>.json.
 HEADLINE_BENCH := 'BenchmarkRumorSpreading($$|Huge)|BenchmarkPhase(Batch|Parallel)Huge|BenchmarkAblationEngine|BenchmarkCensusSweepHuge'
@@ -19,7 +19,7 @@ HEADLINE_BENCH := 'BenchmarkRumorSpreading($$|Huge)|BenchmarkPhase(Batch|Paralle
 # specific point.
 BENCH_N ?= $(shell i=1; while [ -e BENCH_$$i.json ]; do i=$$((i+1)); done; echo $$i)
 
-.PHONY: build vet test race bench-quick bench-json check clean
+.PHONY: build vet test race sweep-smoke bench-quick bench-json check clean
 
 build:
 	$(GO) build ./...
@@ -30,8 +30,17 @@ vet:
 test:
 	$(GO) test ./...
 
+# -timeout 30m: the race detector is ~20× on the E-suite, which puts
+# single-core machines past go test's default 10-minute per-package
+# timeout even though every test passes.
 race:
-	$(GO) test -race ./...
+	$(GO) test -race -timeout 30m ./...
+
+# A tiny 3-point grid through the cmd/sweep flag surface under the
+# race detector: proves the sweep worker fan-out end to end.
+sweep-smoke:
+	$(GO) run -race ./cmd/sweep grid -matrix uniform -k 3 -eps 0.15,0.25,0.35 \
+	    -delta 0.1 -n 2000 -trials 4 -workers 4 -seed 7
 
 bench-quick:
 	$(GO) test -run '^$$' -bench $(QUICK_BENCH) -benchtime 1x ./...
@@ -42,11 +51,12 @@ bench-quick:
 bench-json:
 	{ $(GO) test -run '^$$' -bench $(HEADLINE_BENCH) -benchtime 2x -timeout 60m . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkPhase(Batch|Parallel)Huge' -benchtime 2x -timeout 60m ./internal/model ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkCensusPhase' -benchtime 2x -timeout 60m ./internal/census ; } \
+	  $(GO) test -run '^$$' -bench 'BenchmarkCensusPhase' -benchtime 2x -timeout 60m ./internal/census ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSweepGridPoints' -benchtime 2x -timeout 60m ./internal/sweep ; } \
 	| tee /dev/stderr \
 	| $(GO) run ./cmd/benchjson -label BENCH_$(BENCH_N) > BENCH_$(BENCH_N).json
 
-check: build vet race bench-quick
+check: build vet race sweep-smoke bench-quick
 
 clean:
 	$(GO) clean ./...

@@ -1,6 +1,6 @@
 package noisyrumor
 
-// The bench harness: one benchmark per validation experiment E1–E20
+// The bench harness: one benchmark per validation experiment E1–E22
 // (see DESIGN.md §3). Each benchmark executes the experiment's full
 // pipeline at CI scale (sim.Config.Quick); the numbers printed by
 // `go test -bench=. -benchmem` are the cost of regenerating that
@@ -112,6 +112,13 @@ func BenchmarkE19Adversary(b *testing.B) { benchExperiment(b, "E19") }
 // and n-independence tables (including a full n = 10⁹ sweep — cheap
 // by design).
 func BenchmarkE20CensusEngine(b *testing.B) { benchExperiment(b, "E20") }
+
+// BenchmarkE21PhaseDiagram regenerates the ε×δ phase-diagram
+// heatmaps and the critical-ε bisection.
+func BenchmarkE21PhaseDiagram(b *testing.B) { benchExperiment(b, "E21") }
+
+// BenchmarkE22ScalingLaw regenerates the T(n)-vs-log n scaling table.
+func BenchmarkE22ScalingLaw(b *testing.B) { benchExperiment(b, "E22") }
 
 // benchRumor runs one full rumor-spreading execution per iteration at
 // population n on the named sampling backend (threads applies to the

@@ -1,6 +1,8 @@
 package noisyrumor
 
 import (
+	"math"
+	"math/bits"
 	"reflect"
 	"strings"
 	"testing"
@@ -140,5 +142,98 @@ func TestEnginesListsCensus(t *testing.T) {
 	}
 	if ProcessCensus.String() != "census" {
 		t.Fatalf("ProcessCensus renders as %q", ProcessCensus)
+	}
+}
+
+// TestRunCensusZeroCensus: an all-zero count vector (no sources at
+// all) is a legal if vacuous run — the schedule executes, nobody ever
+// adopts, and the verdict is a clean non-consensus rather than a
+// panic or a phantom winner.
+func TestRunCensusZeroCensus(t *testing.T) {
+	nm, err := UniformNoise(3, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCensus(Config{N: 10_000, Noise: nm, Params: DefaultParams(0.3), Seed: 4},
+		[]int64{0, 0, 0}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Consensus || res.Correct || res.Winner != Undecided {
+		t.Fatalf("zero census produced a verdict: %+v", res)
+	}
+	if res.Undecided != 10_000 {
+		t.Fatalf("zero census ended with %d undecided, want all", res.Undecided)
+	}
+	if res.ErrorBudget != 0 {
+		t.Fatalf("zero census accumulated budget %g", res.ErrorBudget)
+	}
+}
+
+// TestRunCensusPartialCounts: counts summing below N leave the
+// remainder undecided (the documented contract), and the run still
+// reaches the plurality from that partial start.
+func TestRunCensusPartialCounts(t *testing.T) {
+	nm, err := UniformNoise(2, 0.35)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunCensus(Config{N: 100_000, Noise: nm, Params: DefaultParams(0.35), Seed: 6},
+		[]int64{600, 400}, 0) // 99% of the population undecided
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Correct {
+		t.Fatalf("partial-count start failed: %+v", res)
+	}
+}
+
+// TestRunCensusSampleSizeOneSchedule: protocol constants that derive
+// an ℓ = 1 Stage-2 subsample (C/ε² ≤ 1) must run end to end.
+func TestRunCensusSampleSizeOneSchedule(t *testing.T) {
+	nm, err := UniformNoise(2, 0.45)
+	if err != nil {
+		t.Fatal(err)
+	}
+	params := DefaultParams(1)
+	params.C = 1 // ℓ = oddCeil(1/1²) = 1
+	sched, err := NewSchedule(50_000, params)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sched.Stage2[0].SampleSize; got != 1 {
+		t.Fatalf("schedule derived ℓ=%d, want the ℓ=1 edge case", got)
+	}
+	if _, err := RunCensus(Config{N: 50_000, Noise: nm, Params: params, Seed: 8},
+		[]int64{30_000, 20_000}, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestRunCensusOverflowingCounts: int64 count sums that wrap must be
+// rejected at the facade boundary (regression for the pre-add bound
+// check in census.Engine.Init and PluralityConsensus).
+func TestRunCensusOverflowingCounts(t *testing.T) {
+	nm, err := UniformNoise(2, 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := int64(1) << 62
+	if _, err := RunCensus(Config{N: 1 << 62, Noise: nm, Seed: 1}, []int64{huge, huge}, 0); err == nil {
+		t.Error("RunCensus accepted a count sum that wraps int64")
+	}
+	if bits.UintSize == 64 {
+		// int counts can only wrap an int64 sum on 64-bit platforms;
+		// counts must be distinct so the strict-plurality check does
+		// not mask the overflow guard.
+		nm4, err := UniformNoise(4, 0.3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		cfg := Config{N: math.MaxInt64, Noise: nm4, Seed: 1, Engine: ProcessCensus}
+		counts := []int{math.MaxInt, math.MaxInt - 1, math.MaxInt - 1, math.MaxInt - 1}
+		if _, err := PluralityConsensus(cfg, counts); err == nil {
+			t.Error("PluralityConsensus accepted an int count sum that wraps int64")
+		}
 	}
 }

@@ -138,8 +138,11 @@ func parse(in io.Reader) (*Report, error) {
 func derive(rep *Report) {
 	var loop, batch, hugeBatch, hugeParallel float64
 	var phaseBatchHuge, censusPhaseHuge, censusSweepHuge float64
+	var sweepPointsPerSec float64
 	for _, b := range rep.Benchmarks {
 		switch {
+		case strings.Contains(b.Name, "SweepGridPoints"):
+			sweepPointsPerSec = b.Extra["points/s"]
 		case strings.HasSuffix(b.Name, "backend=loop") && strings.Contains(b.Name, "RumorSpreading/"):
 			loop = b.NsPerOp
 		case strings.HasSuffix(b.Name, "backend=batch") && strings.Contains(b.Name, "RumorSpreading/"):
@@ -177,5 +180,10 @@ func derive(rep *Report) {
 	// how much further the aggregate engine reaches end to end.
 	if hugeBatch > 0 && censusSweepHuge > 0 {
 		add("full_run_census_n1e9_speedup_over_batch_n1e7", hugeBatch/censusSweepHuge)
+	}
+	// The phase-diagram instrument's throughput: threshold-straddling
+	// grid points (n = 10⁵, 25 trials each) evaluated per second.
+	if sweepPointsPerSec > 0 {
+		add("sweep_grid_points_per_sec", sweepPointsPerSec)
 	}
 }

@@ -95,3 +95,27 @@ func TestDeriveParallelSpeedup(t *testing.T) {
 		t.Fatal("n=1e5 speedup derived without both backends present")
 	}
 }
+
+const sampleSweep = `
+goos: linux
+BenchmarkSweepGridPoints 	       2	  68105860 ns/op	       176.2 points/s	 5297544 B/op	   14517 allocs/op
+PASS
+`
+
+func TestDeriveSweepThroughput(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Derived["sweep_grid_points_per_sec"]; got != 176.2 {
+		t.Fatalf("sweep throughput = %v, want 176.2", got)
+	}
+	// Absent the benchmark, the key must stay absent.
+	rep, err = parse(strings.NewReader(sampleHuge))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Derived["sweep_grid_points_per_sec"]; ok {
+		t.Fatal("sweep throughput derived without the benchmark present")
+	}
+}

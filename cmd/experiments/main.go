@@ -1,5 +1,5 @@
 // Command experiments runs the paper-validation experiment suite
-// (E1–E20, see DESIGN.md §3) and prints each report; with -write it
+// (E1–E22, see DESIGN.md §3) and prints each report; with -write it
 // also regenerates EXPERIMENTS.md.
 //
 // Examples:
@@ -32,7 +32,7 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
 	var (
-		runID   = fs.String("run", "all", "experiment ID (E1…E20) or 'all'")
+		runID   = fs.String("run", "all", "experiment ID (E1…E22) or 'all'")
 		seed    = fs.Uint64("seed", 20160725, "suite seed (default: PODC'16 date)")
 		quick   = fs.Bool("quick", false, "CI-scale populations and trial counts")
 		write   = fs.String("writefile", "", "write a markdown report to this file")
@@ -49,14 +49,30 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if _, err := model.BackendByName(*backend); err != nil {
 		return err
 	}
-	if _, err := model.ProcessByName(*engine); err != nil {
+	proc, err := model.ProcessByName(*engine)
+	if err != nil {
 		return err
 	}
 	if *threads < 0 {
 		return fmt.Errorf("-threads must be ≥ 0, got %d", *threads)
+	}
+	// Reject contradictory flag combinations instead of silently
+	// ignoring the losing flag.
+	if proc == model.ProcessCensus {
+		if set["backend"] {
+			return fmt.Errorf("-backend %q has no effect with -engine census (the aggregate engine has no per-node sampling to select); drop -backend or pick a per-node engine", *backend)
+		}
+		if set["threads"] {
+			return fmt.Errorf("-threads has no effect with -engine census (the aggregate engine has no per-node sampling to parallelize); use -workers for trial parallelism")
+		}
+	}
+	if set["threads"] && *backend != "parallel" {
+		return fmt.Errorf("-threads only applies to -backend parallel, got backend %q (use -workers for trial parallelism)", *backend)
 	}
 	cfg := sim.Config{Seed: *seed, Quick: *quick, Workers: *workers, Backend: *backend, Engine: *engine, Threads: *threads}
 
@@ -66,7 +82,7 @@ func run(args []string, out io.Writer) error {
 	} else {
 		e, ok := sim.ByID(*runID)
 		if !ok {
-			return fmt.Errorf("unknown experiment %q (have E1…E20)", *runID)
+			return fmt.Errorf("unknown experiment %q (have E1…E22)", *runID)
 		}
 		exps = []sim.Experiment{e}
 	}

@@ -85,3 +85,30 @@ func TestRunRejectsBadBackendAndThreads(t *testing.T) {
 		t.Fatal("negative thread count accepted")
 	}
 }
+
+// TestRunRejectsContradictoryFlags: combinations the trial runner
+// would silently ignore must be rejected, one case per combination.
+func TestRunRejectsContradictoryFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"backend with census engine", []string{"-run", "E1", "-quick", "-engine", "census", "-backend", "parallel"}},
+		{"threads with census engine", []string{"-run", "E1", "-quick", "-engine", "census", "-threads", "8"}},
+		{"threads without parallel backend", []string{"-run", "E1", "-quick", "-threads", "4"}},
+		{"threads with batch backend", []string{"-run", "E1", "-quick", "-backend", "batch", "-threads", "4"}},
+	}
+	for _, c := range cases {
+		if err := run(c.args, io.Discard); err == nil {
+			t.Errorf("%s: accepted silently", c.name)
+		}
+	}
+	// The census engine without the per-node knobs must still run.
+	var b strings.Builder
+	if err := run([]string{"-run", "E1", "-quick", "-engine", "census"}, &b); err != nil {
+		t.Fatalf("census engine rejected: %v", err)
+	}
+	if !strings.Contains(b.String(), "E1") {
+		t.Fatalf("unexpected output:\n%s", b.String())
+	}
+}

@@ -46,10 +46,28 @@ func run(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 
 	proc, err := model.ProcessByName(*engine)
 	if err != nil {
 		return err
+	}
+	// Reject contradictory flag combinations instead of silently
+	// ignoring the losing flag.
+	if proc == noisyrumor.ProcessCensus {
+		if set["backend"] {
+			return fmt.Errorf("-backend %q has no effect with -engine census (the aggregate engine has no per-node sampling to select); drop -backend or pick a per-node engine", *backend)
+		}
+		if set["threads"] {
+			return fmt.Errorf("-threads has no effect with -engine census (the aggregate engine has no per-node sampling to parallelize); drop -threads or pick a per-node engine")
+		}
+	}
+	if set["threads"] && *backend != "parallel" {
+		return fmt.Errorf("-threads only applies to -backend parallel, got backend %q", *backend)
+	}
+	if set["correct"] && set["counts"] {
+		return fmt.Errorf("-correct applies to rumor spreading only: with -counts the plurality opinion of the counts is the correct outcome; drop one of the two flags")
 	}
 	nm, err := makeMatrix(*matrix, *k, *eps)
 	if err != nil {
@@ -65,6 +83,11 @@ func run(args []string, out io.Writer) error {
 		Backend: *backend,
 		Threads: *threads,
 	}
+	header := fmt.Sprintf("n=%d k=%d ε=%v matrix=%s engine=%v seed=%d", *n, nm.K(), *eps, *matrix, proc, *seed)
+
+	if proc == noisyrumor.ProcessCensus {
+		return runCensus(cfg, nm, *counts, *correct, header, *trace, out)
+	}
 
 	var res noisyrumor.Result
 	if *counts == "" {
@@ -78,26 +101,80 @@ func run(args []string, out io.Writer) error {
 		if len(cs) != nm.K() {
 			return fmt.Errorf("%d counts for k=%d", len(cs), nm.K())
 		}
-		res, err = pluralityConsensus(cfg, proc, cs)
+		narrow := make([]int, len(cs))
+		for i, v := range cs {
+			if int64(int(v)) != v {
+				return fmt.Errorf("count %d exceeds the per-node engines' range; use -engine census", v)
+			}
+			narrow[i] = int(v)
+		}
+		res, err = noisyrumor.PluralityConsensus(cfg, narrow)
 	}
 	if err != nil {
 		return err
 	}
 
-	fmt.Fprintf(out, "n=%d k=%d ε=%v matrix=%s engine=%v seed=%d\n", *n, nm.K(), *eps, *matrix, proc, *seed)
+	fmt.Fprintln(out, header)
 	fmt.Fprintf(out, "consensus=%v winner=%d correct=%v rounds=%d (first all-correct: %d)\n",
 		res.Consensus, res.Winner, res.Correct, res.Rounds, res.FirstAllCorrect)
-	if proc == noisyrumor.ProcessCensus {
-		fmt.Fprintln(out, "memory: census engine tracks the aggregate opinion census only (no per-node counters)")
-	} else {
-		fmt.Fprintf(out, "memory: max phase counter %d → %d bits of counters per node\n",
-			res.MaxCounter, res.MemoryBits)
-	}
+	fmt.Fprintf(out, "memory: max phase counter %d → %d bits of counters per node\n",
+		res.MaxCounter, res.MemoryBits)
 	if *trace {
 		fmt.Fprintln(out, "\nphase trace (stage/phase, rounds, opinionated, bias toward correct):")
 		for _, ph := range res.Trace {
 			fmt.Fprintf(out, "  s%d p%-3d rounds=%-6d opinionated=%-8d bias=%+.4f\n",
 				ph.Stage, ph.Phase, ph.Rounds, ph.Opinionated, ph.Bias)
+		}
+	}
+	return nil
+}
+
+// runCensus is the aggregate-engine path: it calls the facade's
+// RunCensus directly (rather than the Result-typed wrappers) so the
+// run's accumulated Lemma-3 truncation budget is available to print
+// next to the outcome, as DESIGN §2 promises.
+func runCensus(cfg noisyrumor.Config, nm *noisyrumor.NoiseMatrix,
+	counts string, correct int, header string, trace bool, out io.Writer) error {
+
+	var cs []int64
+	var correctOp noisyrumor.Opinion
+	if counts == "" {
+		if correct < 0 || correct >= nm.K() {
+			return fmt.Errorf("source opinion %d out of range [0,%d)", correct, nm.K())
+		}
+		correctOp = noisyrumor.Opinion(correct)
+		cs = make([]int64, nm.K())
+		cs[correctOp] = 1
+	} else {
+		var err error
+		cs, err = parseCounts(counts)
+		if err != nil {
+			return err
+		}
+		if len(cs) != nm.K() {
+			return fmt.Errorf("%d counts for k=%d", len(cs), nm.K())
+		}
+		var strict bool
+		correctOp, strict = int64Plurality(cs)
+		if !strict {
+			return fmt.Errorf("initial counts %v have no strict plurality", cs)
+		}
+	}
+	res, err := noisyrumor.RunCensus(cfg, cs, correctOp)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintln(out, header)
+	fmt.Fprintf(out, "consensus=%v winner=%d correct=%v rounds=%d (first all-correct: %d)\n",
+		res.Consensus, res.Winner, res.Correct, res.Rounds, res.FirstAllCorrect)
+	fmt.Fprintln(out, "memory: census engine tracks the aggregate opinion census only (no per-node counters)")
+	fmt.Fprintf(out, "error budget: %.3e (accumulated Lemma-3 truncation mass of the run; see DESIGN §2)\n",
+		res.ErrorBudget)
+	if trace {
+		fmt.Fprintln(out, "\nphase trace (stage/phase, rounds, opinionated, bias toward correct, accumulated budget):")
+		for _, ph := range res.Trace {
+			fmt.Fprintf(out, "  s%d p%-3d rounds=%-6d opinionated=%-8d bias=%+.4f budget=%.3e\n",
+				ph.Stage, ph.Phase, ph.Rounds, ph.Opinionated, ph.Bias, ph.ErrorBudget)
 		}
 	}
 	return nil
@@ -120,30 +197,9 @@ func makeMatrix(name string, k int, eps float64) (*noisyrumor.NoiseMatrix, error
 	}
 }
 
-// pluralityConsensus dispatches a counts-based run. The census engine
-// takes the int64 counts directly (a single opinion class can exceed
-// the int range the per-node facade entry point accepts); per-node
-// engines narrow them.
-func pluralityConsensus(cfg noisyrumor.Config, proc noisyrumor.Process, cs []int64) (noisyrumor.Result, error) {
-	if proc == noisyrumor.ProcessCensus {
-		plurality, strict := int64Plurality(cs)
-		if !strict {
-			return noisyrumor.Result{}, fmt.Errorf("initial counts %v have no strict plurality", cs)
-		}
-		res, err := noisyrumor.RunCensus(cfg, cs, plurality)
-		return res.Result, err
-	}
-	narrow := make([]int, len(cs))
-	for i, v := range cs {
-		if int64(int(v)) != v {
-			return noisyrumor.Result{}, fmt.Errorf("count %d exceeds the per-node engines' range; use -engine census", v)
-		}
-		narrow[i] = int(v)
-	}
-	return noisyrumor.PluralityConsensus(cfg, narrow)
-}
-
-// int64Plurality returns the strict-argmax opinion of a count vector.
+// int64Plurality returns the strict-argmax opinion of a count vector
+// (the census path keeps int64 counts end to end: a single opinion
+// class can exceed the int range the per-node entry points accept).
 func int64Plurality(cs []int64) (noisyrumor.Opinion, bool) {
 	best, bestCount, ties := noisyrumor.Undecided, int64(-1), 0
 	for i, v := range cs {

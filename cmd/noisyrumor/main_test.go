@@ -93,6 +93,71 @@ func TestRunParallelBackendSmoke(t *testing.T) {
 	}
 }
 
+// TestRunRejectsContradictoryFlags: flag combinations in which one
+// flag would silently override or ignore the other must be rejected
+// with an actionable message, one case per combination.
+func TestRunRejectsContradictoryFlags(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"backend with census engine", []string{"-n", "300", "-k", "2", "-eps", "0.4",
+			"-engine", "census", "-backend", "parallel"}},
+		{"threads with census engine", []string{"-n", "300", "-k", "2", "-eps", "0.4",
+			"-engine", "census", "-threads", "8"}},
+		{"threads without parallel backend", []string{"-n", "300", "-k", "2", "-eps", "0.4",
+			"-threads", "4"}},
+		{"threads with batch backend", []string{"-n", "300", "-k", "2", "-eps", "0.4",
+			"-backend", "batch", "-threads", "4"}},
+		{"correct with counts", []string{"-n", "300", "-k", "3", "-eps", "0.4",
+			"-counts", "60,40,20", "-correct", "1"}},
+	}
+	for _, c := range cases {
+		if err := run(c.args, io.Discard); err == nil {
+			t.Errorf("%s: accepted silently", c.name)
+		}
+	}
+	// The near-miss combinations must still work: an explicit
+	// -threads with -backend parallel, and -correct for rumor spreading.
+	if err := run([]string{"-n", "300", "-k", "2", "-eps", "0.4",
+		"-backend", "parallel", "-threads", "2"}, io.Discard); err != nil {
+		t.Errorf("parallel+threads rejected: %v", err)
+	}
+	if err := run([]string{"-n", "300", "-k", "3", "-eps", "0.4", "-correct", "1"}, io.Discard); err != nil {
+		t.Errorf("rumor -correct rejected: %v", err)
+	}
+}
+
+// TestRunCensusPrintsErrorBudget: the aggregate engine's truncation
+// budget must be visible in the default output and, cumulatively, in
+// the -trace lines (DESIGN §2's promise).
+func TestRunCensusPrintsErrorBudget(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-n", "50000", "-k", "3", "-eps", "0.3", "-seed", "9",
+		"-engine", "census", "-counts", "30000,15000,5000", "-trace"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"error budget: ", "Lemma-3 truncation mass", "budget="} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+	// Stage-2 phases truncate, so the final budget must be positive.
+	if strings.Contains(out, "error budget: 0.000e+00") {
+		t.Fatalf("census run reports a zero budget after Stage 2:\n%s", out)
+	}
+	// Rumor spreading on the census engine must print it too.
+	b.Reset()
+	if err := run([]string{"-n", "50000", "-k", "2", "-eps", "0.4", "-seed", "9",
+		"-engine", "census"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "error budget: ") {
+		t.Fatalf("rumor-spreading census output missing the budget:\n%s", b.String())
+	}
+}
+
 func TestRunCensusEngineSmoke(t *testing.T) {
 	// The n ≥ 10⁹ one-liner through the flag surface: a population
 	// beyond int32 range must parse, run on the aggregate engine and

@@ -1,0 +1,341 @@
+// Command sweep drives the phase-diagram sweep subsystem
+// (internal/sweep) from the command line: dense parameter grids,
+// critical-noise bisection and T(n) scaling fits, all on the
+// n-independent census engine by default, all bit-reproducible for a
+// fixed seed at any worker count, and all resumable from a JSON
+// checkpoint.
+//
+// Examples:
+//
+//	sweep grid -matrix uniform,cycle -k 3 -eps 0.05,0.1,0.2,0.3 \
+//	    -delta 0.05,0.15,0.3 -n 1e5 -proto-eps 0.2 -trials 100
+//	sweep bisect -matrix binary -k 2 -n 1e5 -delta 0.02 \
+//	    -proto-eps 0.4 -lo 0.1 -hi 0.3 -tol 0.005 -trials 400
+//	sweep scaling -matrix uniform -k 3 -eps 0.3 -decades 3-12 -trials 12
+//	sweep grid ... -checkpoint sweep.ck.json   # interrupt and re-run to resume
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"strconv"
+	"strings"
+
+	"github.com/gossipkit/noisyrumor/internal/sweep"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "sweep:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	if len(args) == 0 {
+		return fmt.Errorf("usage: sweep <grid|bisect|scaling> [flags] (-h for the mode's flags)")
+	}
+	mode, rest := args[0], args[1:]
+	switch mode {
+	case "grid":
+		return runGrid(rest, out)
+	case "bisect":
+		return runBisect(rest, out)
+	case "scaling":
+		return runScaling(rest, out)
+	default:
+		return fmt.Errorf("unknown mode %q (have grid, bisect, scaling)", mode)
+	}
+}
+
+// commonFlags registers the flags every mode shares.
+type commonFlags struct {
+	seed       *uint64
+	workers    *int
+	checkpoint *string
+	jsonOut    *bool
+	engine     *string
+}
+
+func registerCommon(fs *flag.FlagSet) commonFlags {
+	return commonFlags{
+		seed:       fs.Uint64("seed", 1, "random seed (results are a pure function of spec+seed)"),
+		workers:    fs.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS; any value is bit-identical)"),
+		checkpoint: fs.String("checkpoint", "", "JSON checkpoint path; an existing compatible file resumes the sweep"),
+		jsonOut:    fs.Bool("json", false, "emit the full result as JSON instead of tables"),
+		engine:     fs.String("engine", "census", "trial engine: census (n-independent) or O | B | P (per-node cross-checks)"),
+	}
+}
+
+func (c commonFlags) runner() sweep.Runner {
+	return sweep.Runner{Seed: *c.seed, Workers: *c.workers, Checkpoint: *c.checkpoint}
+}
+
+func runGrid(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep grid", flag.ContinueOnError)
+	var (
+		matrix   = fs.String("matrix", "uniform", "comma-separated matrix families (uniform | binary | identity | cycle | reset)")
+		ks       = fs.String("k", "3", "comma-separated opinion counts")
+		eps      = fs.String("eps", "0.1,0.2,0.3", "comma-separated channel ε values")
+		deltas   = fs.String("delta", "0.1", "comma-separated initial plurality biases δ (0 = rumor spreading)")
+		ns       = fs.String("n", "1e5", "comma-separated population sizes (scientific notation ok)")
+		cs       = fs.String("c", "", "comma-separated Stage-2 constants c (sets ℓ=⌈c/ε²⌉; empty = default)")
+		protoEps = fs.Float64("proto-eps", 0, "pin the protocol's assumed ε across the grid (0 = per-point channel ε)")
+		trials   = fs.Int("trials", 50, "trials per grid point")
+	)
+	common := registerCommon(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	g := sweep.Grid{
+		Matrices: splitStrings(*matrix),
+		Trials:   *trials,
+		ProtoEps: *protoEps,
+		Engine:   engineName(*common.engine),
+	}
+	var err error
+	if g.Ks, err = parseInts(*ks); err != nil {
+		return fmt.Errorf("-k: %w", err)
+	}
+	if g.ChannelEps, err = parseFloats(*eps); err != nil {
+		return fmt.Errorf("-eps: %w", err)
+	}
+	if g.Deltas, err = parseFloats(*deltas); err != nil {
+		return fmt.Errorf("-delta: %w", err)
+	}
+	if g.Ns, err = parseInt64s(*ns); err != nil {
+		return fmt.Errorf("-n: %w", err)
+	}
+	if *cs != "" {
+		if g.Cs, err = parseFloats(*cs); err != nil {
+			return fmt.Errorf("-c: %w", err)
+		}
+	}
+	res, err := common.runner().RunGrid(g)
+	if err != nil {
+		return err
+	}
+	if *common.jsonOut {
+		return emitJSON(out, res)
+	}
+	fmt.Fprintf(out, "grid: %d points × %d trials, seed %d (total truncation budget %.2e)\n\n",
+		len(res.Points), g.Trials, *common.seed, res.ErrorBudget)
+	fmt.Fprintf(out, "%-8s %-3s %-9s %-6s %-10s %-8s %-9s %-16s %-10s %s\n",
+		"matrix", "k", "eps", "delta", "n", "success", "trials", "wilson95", "rounds", "budget")
+	for _, p := range res.Points {
+		fmt.Fprintf(out, "%-8s %-3d %-9.4g %-6.3g %-10d %-8.3f %-9d [%.3f, %.3f]   %-10.1f %.2e\n",
+			p.Point.Matrix, p.Point.K, p.Point.ChannelEps, p.Point.Delta, p.Point.N,
+			p.SuccessRate, p.Trials, p.WilsonLo, p.WilsonHi, p.MeanRounds, p.ErrorBudget)
+	}
+	return nil
+}
+
+func runBisect(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep bisect", flag.ContinueOnError)
+	var (
+		matrix   = fs.String("matrix", "binary", "matrix family")
+		k        = fs.Int("k", 2, "number of opinions")
+		n        = fs.String("n", "1e5", "population size")
+		delta    = fs.Float64("delta", 0.02, "initial plurality bias δ")
+		protoEps = fs.Float64("proto-eps", 0.4, "the protocol's assumed ε (fixes the schedule)")
+		c        = fs.Float64("c", 0, "Stage-2 constant c override (0 = default)")
+		lo       = fs.Float64("lo", 0.1, "bracket low: channel ε with success < 1/2")
+		hi       = fs.Float64("hi", 0.3, "bracket high: channel ε with success > 1/2")
+		tol      = fs.Float64("tol", 0.005, "bracket width at which the search stops")
+		trials   = fs.Int("trials", 400, "per-evaluation trial budget (Wilson-stopped)")
+		batch    = fs.Int("batch", 0, "Wilson early-stopping batch size (0 = trials/8, min 8)")
+		maxEvals = fs.Int("max-evals", 0, "evaluation cap (0 = 40)")
+	)
+	common := registerCommon(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	nv, err := parseInt64s(*n)
+	if err != nil || len(nv) != 1 {
+		return fmt.Errorf("-n: want one population size, got %q", *n)
+	}
+	b := sweep.Bisect{
+		Matrix: *matrix, K: *k, N: nv[0], Delta: *delta, ProtoEps: *protoEps, C: *c,
+		Lo: *lo, Hi: *hi, Tol: *tol, Trials: *trials, Batch: *batch, MaxEvals: *maxEvals,
+		Engine: engineName(*common.engine),
+	}
+	res, err := common.runner().RunBisect(b)
+	if err != nil {
+		return err
+	}
+	if *common.jsonOut {
+		return emitJSON(out, res)
+	}
+	fmt.Fprintf(out, "bisect: %s k=%d n=%d δ=%v, protocol ε=%v, seed %d\n\n",
+		b.Matrix, b.K, b.N, b.Delta, b.ProtoEps, *common.seed)
+	fmt.Fprintf(out, "%-5s %-10s %-8s %-16s %-7s %s\n", "eval", "eps", "success", "wilson95", "trials", "budget")
+	for i, ev := range res.Evals {
+		fmt.Fprintf(out, "%-5d %-10.5f %-8.3f [%.3f, %.3f]   %-7d %.2e\n",
+			i, ev.Eps, ev.Result.SuccessRate, ev.Result.WilsonLo, ev.Result.WilsonHi,
+			ev.Result.Trials, ev.Result.ErrorBudget)
+	}
+	fmt.Fprintf(out, "\ncritical ε* = %.5f (bracket [%.5f, %.5f], band [%.5f, %.5f], budget %.2e)\n",
+		res.Critical, res.Lo, res.Hi, res.BandLo, res.BandHi, res.ErrorBudget)
+	if lpb, err := sweep.LPBoundary(b.Matrix, b.K, b.ProtoEps, b.Delta, b.Lo, b.Hi); err == nil {
+		fmt.Fprintf(out, "LP majority-preservation boundary: %.5f — %s the critical band\n",
+			lpb, map[bool]string{true: "inside", false: "OUTSIDE"}[res.Contains(lpb)])
+	} else {
+		fmt.Fprintf(out, "LP majority-preservation boundary: not bracketed by [%v, %v] (%v)\n", b.Lo, b.Hi, err)
+	}
+	return nil
+}
+
+func runScaling(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep scaling", flag.ContinueOnError)
+	var (
+		matrix   = fs.String("matrix", "uniform", "matrix family")
+		k        = fs.Int("k", 3, "number of opinions")
+		eps      = fs.Float64("eps", 0.3, "channel ε")
+		protoEps = fs.Float64("proto-eps", 0, "the protocol's assumed ε (0 = channel ε)")
+		delta    = fs.Float64("delta", 0, "initial plurality bias δ (0 = rumor spreading)")
+		decades  = fs.String("decades", "3-9", "population decade range lo-hi: n = 10^lo … 10^hi")
+		ns       = fs.String("n", "", "explicit comma-separated population sizes (overrides -decades)")
+		trials   = fs.Int("trials", 12, "trials per population size")
+	)
+	common := registerCommon(fs)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	s := sweep.Scaling{
+		Matrix: *matrix, K: *k, ChannelEps: *eps, ProtoEps: *protoEps,
+		Delta: *delta, Trials: *trials, Engine: engineName(*common.engine),
+	}
+	if *ns != "" {
+		var err error
+		if s.Ns, err = parseInt64s(*ns); err != nil {
+			return fmt.Errorf("-n: %w", err)
+		}
+	} else {
+		lo, hi, err := parseDecades(*decades)
+		if err != nil {
+			return fmt.Errorf("-decades: %w", err)
+		}
+		s.Ns = sweep.Decades(lo, hi)
+	}
+	res, err := common.runner().RunScaling(s)
+	if err != nil {
+		return err
+	}
+	if *common.jsonOut {
+		return emitJSON(out, res)
+	}
+	fmt.Fprintf(out, "scaling: %s k=%d ε=%v δ=%v, seed %d\n\n", s.Matrix, s.K, s.ChannelEps, s.Delta, *common.seed)
+	fmt.Fprintf(out, "%-14s %-10s %-8s %-10s %s\n", "n", "mean T(n)", "success", "T(n)/ln n", "budget")
+	for _, p := range res.Points {
+		fmt.Fprintf(out, "%-14d %-10.1f %-8.3f %-10.1f %.2e\n",
+			p.Point.N, p.MeanRounds, p.SuccessRate, p.MeanRounds/math.Log(float64(p.Point.N)), p.ErrorBudget)
+	}
+	fmt.Fprintf(out, "\nfit: T(n) = %.1f + %.1f·ln n (R²=%.4f, RMSE %.1f rounds; total budget %.2e)\n",
+		res.Fit.Intercept, res.Fit.Slope, res.Fit.R2, res.Fit.RMSE, res.ErrorBudget)
+	return nil
+}
+
+// engineName maps the CLI spelling to the sweep package's
+// Point.Engine convention ("" = census).
+func engineName(s string) string {
+	if s == "census" {
+		return ""
+	}
+	return s
+}
+
+func emitJSON(out io.Writer, v any) error {
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(v)
+}
+
+func splitStrings(s string) []string {
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, p := range splitStrings(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, p := range splitStrings(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			return nil, fmt.Errorf("bad value %q", p)
+		}
+		out = append(out, v)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+// parseInt64s accepts plain integers and scientific notation (1e9),
+// rejecting values that are not exactly representable integers.
+func parseInt64s(s string) ([]int64, error) {
+	var out []int64
+	for _, p := range splitStrings(s) {
+		if v, err := strconv.ParseInt(p, 10, 64); err == nil {
+			out = append(out, v)
+			continue
+		}
+		f, err := strconv.ParseFloat(p, 64)
+		if err != nil || f != math.Trunc(f) || math.Abs(f) >= 1<<62 {
+			return nil, fmt.Errorf("bad population %q", p)
+		}
+		out = append(out, int64(f))
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("empty list")
+	}
+	return out, nil
+}
+
+func parseDecades(s string) (lo, hi int, err error) {
+	// Full-match parsing: Sscanf would silently ignore trailing input
+	// ("3-9x" → 3..9) instead of rejecting it.
+	loStr, hiStr, ok := strings.Cut(s, "-")
+	if ok {
+		lo, err = strconv.Atoi(loStr)
+		if err == nil {
+			hi, err = strconv.Atoi(hiStr)
+		}
+	}
+	if !ok || err != nil {
+		return 0, 0, fmt.Errorf("want lo-hi (e.g. 3-9), got %q", s)
+	}
+	if lo < 1 {
+		// n = 10⁰ = 1 has no schedule (the protocol needs n ≥ 2) and
+		// no ln n to normalize by.
+		return 0, 0, fmt.Errorf("decades start at 1 (n = 10), got %d-%d", lo, hi)
+	}
+	if sweep.Decades(lo, hi) == nil {
+		return 0, 0, fmt.Errorf("invalid decade range %d-%d", lo, hi)
+	}
+	return lo, hi, nil
+}

@@ -1,0 +1,130 @@
+package main
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestRunGridSmoke(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"grid", "-matrix", "uniform", "-k", "3", "-eps", "0.15,0.35",
+		"-delta", "0.1", "-n", "2000", "-trials", "3", "-seed", "7"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"2 points", "wilson95", "uniform"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunGridJSON(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"grid", "-matrix", "binary", "-k", "2", "-eps", "0.3",
+		"-delta", "0.2", "-n", "1e3", "-trials", "3", "-json"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{`"points"`, `"error_budget"`, `"wilson_lo"`} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("JSON output missing %q:\n%s", want, b.String())
+		}
+	}
+}
+
+func TestRunBisectSmoke(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"bisect", "-matrix", "binary", "-k", "2", "-n", "1e4",
+		"-delta", "0.05", "-proto-eps", "0.4", "-lo", "0.1", "-hi", "0.3",
+		"-tol", "0.05", "-trials", "24", "-seed", "3"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"critical ε*", "LP majority-preservation boundary"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunScalingSmoke(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"scaling", "-decades", "3-5", "-trials", "3", "-seed", "2"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "fit: T(n) =") {
+		t.Fatalf("output missing fit line:\n%s", b.String())
+	}
+}
+
+// TestCheckpointResumeCLI: the -checkpoint flag must survive a
+// re-invocation — the second run resumes (and reproduces) rather than
+// failing or recomputing into a different result.
+func TestCheckpointResumeCLI(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	args := []string{"grid", "-matrix", "uniform", "-k", "3", "-eps", "0.2,0.3",
+		"-delta", "0.1", "-n", "2000", "-trials", "3", "-seed", "5", "-checkpoint", path}
+	var first, second strings.Builder
+	if err := run(args, &first); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(path); err != nil {
+		t.Fatalf("checkpoint not written: %v", err)
+	}
+	if err := run(args, &second); err != nil {
+		t.Fatal(err)
+	}
+	if first.String() != second.String() {
+		t.Fatalf("resumed run differs:\n%s\nvs\n%s", first.String(), second.String())
+	}
+	// A different seed against the same checkpoint must be rejected.
+	bad := append([]string{}, args...)
+	bad[len(bad)-3] = "6" // the -seed value
+	if err := run(bad, io.Discard); err == nil {
+		t.Fatal("checkpoint from another seed accepted")
+	}
+}
+
+func TestRunRejectsBadInput(t *testing.T) {
+	cases := [][]string{
+		{},
+		{"warp"},
+		{"grid", "-eps", "x"},
+		{"grid", "-n", "1.5e2.5"},
+		{"grid", "-k", "two"},
+		{"grid", "-matrix", "warp"},
+		{"bisect", "-n", "1e4,1e5"},
+		{"bisect", "-lo", "0.3", "-hi", "0.1"},
+		{"scaling", "-decades", "9-3"},
+		{"scaling", "-decades", "0-6"},
+		{"scaling", "-decades", "x"},
+		{"scaling", "-n", "1000"},
+	}
+	for _, args := range cases {
+		if err := run(args, io.Discard); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+func TestParseInt64sScientific(t *testing.T) {
+	got, err := parseInt64s("1000,1e6,2.5e3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1000 || got[1] != 1_000_000 || got[2] != 2500 {
+		t.Fatalf("parseInt64s = %v", got)
+	}
+	for _, bad := range []string{"1.5", "1e20", ""} {
+		if _, err := parseInt64s(bad); err == nil {
+			t.Fatalf("parseInt64s(%q) accepted", bad)
+		}
+	}
+}

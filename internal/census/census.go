@@ -140,9 +140,13 @@ func (e *Engine) Init(counts []int64) error {
 		if c < 0 {
 			return fmt.Errorf("census: Init with counts[%d]=%d", i, c)
 		}
-		if total += c; total > e.n {
+		// Compare before adding: a naive running sum can wrap int64
+		// (two counts of 2⁶² pass a post-add "total > n" check) and
+		// silently leave a negative undecided mass.
+		if c > e.n-total {
 			return fmt.Errorf("census: Init counts sum beyond n=%d", e.n)
 		}
+		total += c
 	}
 	copy(e.counts, counts)
 	e.und = e.n - total

@@ -332,3 +332,114 @@ func TestStage2NoMessages(t *testing.T) {
 		t.Fatalf("silent phase changed the census: %v / %d undecided", e.Counts(), e.Undecided())
 	}
 }
+
+// TestInitOverflowingCountSum: count vectors whose running sum wraps
+// int64 must be rejected. A post-add "total > n" check misses them —
+// e.g. two counts of 2⁶² sum to 2⁶³, which wraps negative and passes
+// the comparison, leaving a silently negative undecided mass.
+func TestInitOverflowingCountSum(t *testing.T) {
+	nm, err := noise.Uniform(4, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e, err := census.New(1<<62, nm, rng.New(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	huge := int64(1) << 61
+	for _, counts := range [][]int64{
+		{huge, huge, huge, huge},             // wraps to 2⁶³ exactly
+		{huge, huge, huge - 1, huge + 1},     // wraps off-balance
+		{1 << 62, 1 << 62, 1 << 62, 1 << 62}, // wraps to 0
+	} {
+		if err := e.Init(counts); err == nil {
+			t.Errorf("Init accepted overflowing counts %v: undecided=%d", counts, e.Undecided())
+		}
+	}
+	// The exact-fit boundary must still be accepted.
+	if err := e.Init([]int64{huge, huge, 0, 0}); err != nil {
+		t.Errorf("Init rejected counts summing exactly to n: %v", err)
+	}
+	if e.Undecided() != 0 {
+		t.Errorf("exact-fit init left %d undecided", e.Undecided())
+	}
+}
+
+// TestZeroTotalCensus: an all-zero census (every node undecided, no
+// sources) must advance through both stage laws as the identity — no
+// panic, no spontaneous opinions, zero truncation budget.
+func TestZeroTotalCensus(t *testing.T) {
+	nm, err := noise.Uniform(3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, 5000, nm, 3, []int64{0, 0, 0})
+	if err := e.Stage1Phase(8); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Stage2Phase(10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if e.Undecided() != 5000 {
+		t.Fatalf("zero census produced opinions: %v (%d undecided)", e.Counts(), e.Undecided())
+	}
+	if e.ErrorBudget() != 0 {
+		t.Fatalf("zero census accumulated budget %g", e.ErrorBudget())
+	}
+}
+
+// TestSingleOpinionEngine: k = 1 (the degenerate identity channel) is
+// a legal census — both stage laws must be total on it and conserve
+// the population.
+func TestSingleOpinionEngine(t *testing.T) {
+	nm, err := noise.Identity(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, 1000, nm, 4, []int64{400})
+	if err := e.Stage1Phase(6); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Stage2Phase(10, 5); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Counts()[0] + e.Undecided(); got != 1000 {
+		t.Fatalf("k=1 phases broke conservation: %d", got)
+	}
+	// With only one opinion in the pool, Stage 1 can only have grown
+	// class 0.
+	if e.Counts()[0] < 400 {
+		t.Fatalf("k=1 Stage 1 shrank the only class: %v", e.Counts())
+	}
+}
+
+// TestStage2SampleSizeOne: ℓ = 1 subsample majority (adopt the single
+// sampled message) must run and conserve; its law is the post-noise
+// composition law itself.
+func TestStage2SampleSizeOne(t *testing.T) {
+	nm, err := noise.Uniform(3, 0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := newEngine(t, 100_000, nm, 5, []int64{60_000, 30_000, 10_000})
+	if err := e.Stage2Phase(2, 1); err != nil {
+		t.Fatal(err)
+	}
+	counts := e.Counts()
+	total := e.Undecided()
+	for _, c := range counts {
+		total += c
+	}
+	if total != 100_000 {
+		t.Fatalf("ℓ=1 phase broke conservation: %d", total)
+	}
+	// Every node received ≈ 2 messages, so nearly everyone updated
+	// with the composition law: class 0 should still lead, class 2
+	// should have grown toward the composition (≈ 0.21 of n).
+	if counts[0] <= counts[1] || counts[1] <= counts[2] {
+		t.Fatalf("ℓ=1 update scrambled the ranking: %v", counts)
+	}
+	if counts[2] < 12_000 {
+		t.Fatalf("ℓ=1 update did not move class 2 toward the composition: %v", counts)
+	}
+}

@@ -163,3 +163,19 @@ func TestStage1LawEdgeCases(t *testing.T) {
 		t.Fatalf("law sums to %v", total)
 	}
 }
+
+// TestMajorityLawSampleSizeOne: maj of a single draw is the draw, so
+// the ℓ = 1 law must equal the composition law q with zero
+// truncation beyond the pruned sub-cut classes.
+func TestMajorityLawSampleSizeOne(t *testing.T) {
+	q := []float64{0.5, 0.3, 0.2}
+	r, dropped := MajorityLaw(q, 1, 1e-12)
+	for j := range q {
+		if math.Abs(r[j]-q[j]) > 1e-12 {
+			t.Fatalf("MajorityLaw(q, 1)[%d] = %v, want q[%d] = %v", j, r[j], j, q[j])
+		}
+	}
+	if dropped > 1e-12 {
+		t.Fatalf("ℓ=1 law dropped %g mass", dropped)
+	}
+}

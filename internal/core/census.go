@@ -92,6 +92,7 @@ func RunCensus(n int64, nm *noise.Matrix, params Params, initial []int64,
 			Opinionated: n - eng.Undecided(),
 			Dist:        c,
 			Bias:        bias,
+			ErrorBudget: eng.ErrorBudget(),
 		})
 	}
 

@@ -30,6 +30,10 @@ type PhaseStats struct {
 	// Bias is Dist[correct] − max rival (Definition 1's δ toward the
 	// correct opinion).
 	Bias float64
+	// ErrorBudget is the census engine's accumulated truncation budget
+	// as of this phase end (census.Engine.ErrorBudget); zero for the
+	// per-node engines, which sample their phase laws exactly.
+	ErrorBudget float64
 }
 
 // Result is the outcome of one protocol execution.

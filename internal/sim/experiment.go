@@ -8,7 +8,7 @@ import (
 
 // Report is the rendered outcome of one experiment.
 type Report struct {
-	// ID is the experiment identifier (E1…E20).
+	// ID is the experiment identifier (E1…E22).
 	ID string
 	// Title is a one-line description.
 	Title string
@@ -93,6 +93,8 @@ func Registry() []Experiment {
 		{ID: "E18", Title: "Clock-jitter robustness (footnote 3)", Run: RunE18},
 		{ID: "E19", Title: "Adversarial fault tolerance (O(√n) yardstick)", Run: RunE19},
 		{ID: "E20", Title: "Aggregate census engine: exactness and n ≥ 10⁹ sweeps", Run: RunE20},
+		{ID: "E21", Title: "Phase diagram: success regions vs the (ε,δ)-m.p. boundary", Run: RunE21},
+		{ID: "E22", Title: "T(n) scaling: rounds to consensus vs log n up to n = 10¹²", Run: RunE22},
 	}
 	sort.SliceStable(exps, func(i, j int) bool {
 		return idOrder(exps[i].ID) < idOrder(exps[j].ID)

@@ -8,8 +8,8 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	exps := Registry()
-	if len(exps) != 20 {
-		t.Fatalf("registry has %d experiments, want 20", len(exps))
+	if len(exps) != 22 {
+		t.Fatalf("registry has %d experiments, want 22", len(exps))
 	}
 	seen := map[string]bool{}
 	for i, e := range exps {
@@ -375,5 +375,65 @@ func TestE20QuickCensusEquivalenceAndScale(t *testing.T) {
 		if strings.Contains(f, "FAIL") || strings.Contains(f, "correct: false") {
 			t.Fatalf("E20 verdict failed: %s", f)
 		}
+	}
+}
+
+func TestE21QuickPhaseDiagram(t *testing.T) {
+	t.Parallel()
+	rep := runQuick(t, "E21")
+	if len(rep.Tables) != 3 {
+		t.Fatalf("%d tables, want 2 heatmaps + 1 bisection", len(rep.Tables))
+	}
+	// Every LP-certified heatmap cell must have succeeded and the LP
+	// boundary must sit inside the bisection's critical band — the
+	// acceptance criteria, asserted from the findings verdicts.
+	for _, f := range rep.Findings {
+		if strings.Contains(f, "FAIL") {
+			t.Fatalf("E21 verdict failed: %s", f)
+		}
+	}
+	// The heatmaps themselves: an "mp" cell may never show a sub-1/2
+	// success rate.
+	for _, tab := range rep.Tables[:2] {
+		for i := 0; i < tab.NumRows(); i++ {
+			for j := 1; j < 6; j++ {
+				cell := tab.Cell(i, j)
+				if strings.HasSuffix(cell, "mp") {
+					rate, err := strconv.ParseFloat(strings.Fields(cell)[0], 64)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if rate < 0.5 {
+						t.Fatalf("%s: certified cell %q failed", tab.Title, cell)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestE22QuickLogLaw(t *testing.T) {
+	t.Parallel()
+	rep := runQuick(t, "E22")
+	tab := rep.Tables[0]
+	// T(n) must be monotone in n and every point must succeed.
+	prev := -1.0
+	for i := 0; i < tab.NumRows(); i++ {
+		mean, err := strconv.ParseFloat(tab.Cell(i, 1), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if mean <= prev {
+			t.Fatalf("T(n) not increasing at row %d: %v after %v", i, mean, prev)
+		}
+		prev = mean
+		if succ, _ := strconv.ParseFloat(tab.Cell(i, 2), 64); succ < 0.75 {
+			t.Fatalf("row %d success %v", i, succ)
+		}
+	}
+	// The fitted slope must be positive with a tight R² (rendered in
+	// the finding as R²=0.xxxx).
+	if !strings.Contains(rep.Findings[0], "R²=0.9") {
+		t.Fatalf("log-law fit not tight: %s", rep.Findings[0])
 	}
 }

@@ -40,6 +40,31 @@ func TestExperimentGoldenAcrossWorkerCounts(t *testing.T) {
 	}
 }
 
+// TestSweepExperimentsGoldenAcrossWorkerCounts extends the contract
+// to the sweep-driven experiments: E21's grids and adaptive bisection
+// (Wilson early stopping included) and E22's scaling fan must render
+// bitwise identically at 1 and 8 workers — the E21/E22 acceptance
+// criterion and the sweep package's determinism contract end to end.
+func TestSweepExperimentsGoldenAcrossWorkerCounts(t *testing.T) {
+	for _, id := range []string{"E21", "E22"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s not registered", id)
+		}
+		run := func(workers int) string {
+			rep, err := e.Run(Config{Seed: 42, Quick: true, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep.Text()
+		}
+		if one, eight := run(1), run(8); one != eight {
+			t.Errorf("%s report differs between Workers=1 and Workers=8:\n--- 1 worker ---\n%s\n--- 8 workers ---\n%s",
+				id, one, eight)
+		}
+	}
+}
+
 // TestConfigBackendChangesTrials: the backend axis must actually reach
 // the trials — loop and batch consume the random stream differently,
 // so with a fixed seed the reports are expected to differ somewhere

@@ -1,6 +1,6 @@
 // Package sim is the experiment harness of the reproduction: a
 // deterministic parallel trial runner, table rendering (text, markdown
-// and CSV), and the registry of validation experiments E1–E20 defined
+// and CSV), and the registry of validation experiments E1–E22 defined
 // in DESIGN.md §3, each of which checks one of the paper's claims
 // (theorems, lemmas, examples or appendix discussions) against
 // simulation or exact computation.

@@ -6,11 +6,16 @@ import (
 )
 
 // Fit is an ordinary-least-squares line y = Intercept + Slope·x with
-// its coefficient of determination.
+// its coefficient of determination and root-mean-square residual.
 type Fit struct {
 	Slope     float64
 	Intercept float64
 	R2        float64
+	// RMSE is the root-mean-square residual √(Σ(y−ŷ)²/n), in the units
+	// of y — the absolute companion to the dimensionless R2, used by
+	// the T(n)-scaling sweeps to report how far the measured times sit
+	// from the fitted log-law.
+	RMSE float64
 }
 
 // LinearFit fits y = a + b·x by least squares. It returns an error when
@@ -42,12 +47,15 @@ func LinearFit(x, y []float64) (Fit, error) {
 	}
 	b := sxy / sxx
 	a := my - b*mx
+	ssRes := syy - b*sxy
+	if ssRes < 0 {
+		ssRes = 0 // guard the analytic identity against rounding
+	}
 	r2 := 1.0
 	if syy > 0 {
-		ssRes := syy - b*sxy
 		r2 = 1 - ssRes/syy
 	}
-	return Fit{Slope: b, Intercept: a, R2: r2}, nil
+	return Fit{Slope: b, Intercept: a, R2: r2, RMSE: math.Sqrt(ssRes / n)}, nil
 }
 
 // LogLogFit fits log(y) = a + b·log(x), returning the power-law

@@ -1,0 +1,39 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Wilson returns the Wilson score confidence interval for a binomial
+// success probability after observing successes out of trials, at the
+// normal quantile z (1.96 for 95%). Unlike the Wald interval it stays
+// inside [0,1] and keeps near-nominal coverage at the extremes
+// (successes 0 or trials), which is exactly the regime a threshold
+// bisection lives in: deciding whether an observed success rate is
+// distinguishable from 1/2 near the critical point.
+func Wilson(successes, trials int, z float64) (lo, hi float64, err error) {
+	if trials < 1 {
+		return 0, 0, fmt.Errorf("stats: Wilson with %d trials", trials)
+	}
+	if successes < 0 || successes > trials {
+		return 0, 0, fmt.Errorf("stats: Wilson with %d successes of %d trials", successes, trials)
+	}
+	if z <= 0 || math.IsNaN(z) || math.IsInf(z, 0) {
+		return 0, 0, fmt.Errorf("stats: Wilson with z=%v", z)
+	}
+	n := float64(trials)
+	p := float64(successes) / n
+	z2 := z * z
+	denom := 1 + z2/n
+	center := (p + z2/(2*n)) / denom
+	half := z * math.Sqrt(p*(1-p)/n+z2/(4*n*n)) / denom
+	lo, hi = center-half, center+half
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > 1 {
+		hi = 1
+	}
+	return lo, hi, nil
+}

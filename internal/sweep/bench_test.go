@@ -1,0 +1,47 @@
+package sweep
+
+import "testing"
+
+// BenchmarkSweepGridPoints is the sweep-throughput headline recorded
+// in BENCH_<n>.json: a 12-point census-engine grid (binary + uniform,
+// 2 ε × 3 δ at n = 10⁵, 25 trials per point) straddling the success
+// threshold, with the custom points/s metric benchjson derives the
+// throughput number from.
+func BenchmarkSweepGridPoints(b *testing.B) {
+	g := Grid{
+		Matrices:   []string{"binary", "uniform"},
+		Ks:         []int{2},
+		ChannelEps: []float64{0.18, 0.3},
+		Deltas:     []float64{0.05, 0.15, 0.3},
+		Ns:         []int64{100_000},
+		ProtoEps:   0.4,
+		Trials:     25,
+	}
+	pts, err := g.Points()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Runner{Seed: uint64(i + 1)}.RunGrid(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) != len(pts) {
+			b.Fatal("short grid")
+		}
+	}
+	b.ReportMetric(float64(len(pts))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkSweepBisect tracks the cost of a full Wilson-stopped
+// critical-ε search at the E21 workload's quick scale.
+func BenchmarkSweepBisect(b *testing.B) {
+	spec := testBisect(80)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Runner{Seed: uint64(i + 1)}).RunBisect(spec); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

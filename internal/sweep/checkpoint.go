@@ -1,0 +1,124 @@
+package sweep
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"strconv"
+)
+
+// checkpointSchema versions the on-disk format.
+const checkpointSchema = "noisyrumor-sweep-checkpoint/v1"
+
+// checkpointState is the JSON file: the sweep's identity (mode, seed
+// and the marshaled spec, compared byte-for-byte on resume) plus every
+// completed point result keyed by point index. Because each point is
+// a pure function of (spec, seed, index), replaying the remaining
+// points after a resume reproduces the uninterrupted run exactly.
+type checkpointState struct {
+	Schema  string                 `json:"schema"`
+	Mode    string                 `json:"mode"`
+	Seed    uint64                 `json:"seed"`
+	Z       float64                `json:"z"`
+	Spec    json.RawMessage        `json:"spec"`
+	Results map[string]PointResult `json:"results"`
+}
+
+// checkpoint persists sweep progress. A nil checkpoint (no path
+// configured) is valid and does nothing.
+type checkpoint struct {
+	path  string
+	state checkpointState
+}
+
+// openCheckpoint loads or initializes the checkpoint at path for a
+// sweep identified by (mode, seed, z, spec) — z is the effective
+// Wilson quantile, part of the identity because stored results carry
+// intervals (and early-stopping trial counts) computed at it. An
+// existing file must match the identity exactly; a fresh file starts
+// empty. An empty path disables checkpointing.
+func openCheckpoint(path, mode string, seed uint64, z float64, spec any) (*checkpoint, error) {
+	if path == "" {
+		return nil, nil
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return nil, fmt.Errorf("sweep: marshal checkpoint spec: %w", err)
+	}
+	ck := &checkpoint{path: path, state: checkpointState{
+		Schema:  checkpointSchema,
+		Mode:    mode,
+		Seed:    seed,
+		Z:       z,
+		Spec:    specJSON,
+		Results: map[string]PointResult{},
+	}}
+	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return ck, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("sweep: read checkpoint: %w", err)
+	}
+	var prev checkpointState
+	if err := json.Unmarshal(data, &prev); err != nil {
+		return nil, fmt.Errorf("sweep: parse checkpoint %s: %w", path, err)
+	}
+	if prev.Schema != checkpointSchema {
+		return nil, fmt.Errorf("sweep: checkpoint %s has schema %q, want %q", path, prev.Schema, checkpointSchema)
+	}
+	if prev.Mode != mode || prev.Seed != seed || prev.Z != z ||
+		!bytes.Equal(canonicalJSON(prev.Spec), canonicalJSON(specJSON)) {
+		return nil, fmt.Errorf("sweep: checkpoint %s was written by a different sweep (mode/seed/z/spec mismatch); delete it or change -checkpoint", path)
+	}
+	if prev.Results != nil {
+		ck.state.Results = prev.Results
+	}
+	return ck, nil
+}
+
+// canonicalJSON re-marshals raw JSON so semantically equal specs
+// compare equal regardless of whitespace.
+func canonicalJSON(raw json.RawMessage) []byte {
+	var v any
+	if err := json.Unmarshal(raw, &v); err != nil {
+		return raw
+	}
+	out, err := json.Marshal(v)
+	if err != nil {
+		return raw
+	}
+	return out
+}
+
+// get returns the stored result for a point key, if any.
+func (c *checkpoint) get(key int) (PointResult, bool) {
+	if c == nil {
+		return PointResult{}, false
+	}
+	res, ok := c.state.Results[strconv.Itoa(key)]
+	return res, ok
+}
+
+// put records a completed point and atomically rewrites the file
+// (temp file + rename), so an interrupt mid-write never corrupts the
+// resumable state.
+func (c *checkpoint) put(key int, res PointResult) error {
+	if c == nil {
+		return nil
+	}
+	c.state.Results[strconv.Itoa(key)] = res
+	data, err := json.MarshalIndent(c.state, "", " ")
+	if err != nil {
+		return fmt.Errorf("sweep: marshal checkpoint: %w", err)
+	}
+	tmp := c.path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return fmt.Errorf("sweep: write checkpoint: %w", err)
+	}
+	if err := os.Rename(tmp, c.path); err != nil {
+		return fmt.Errorf("sweep: commit checkpoint: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,121 @@
+package sweep
+
+import "fmt"
+
+// Grid is a cartesian parameter fan: every combination of the listed
+// axes becomes one Point, enumerated in a fixed order (matrix-major,
+// then k, then c, then δ, then n, then channel ε) so point indices —
+// and hence random streams and checkpoint keys — are stable across
+// runs and worker counts.
+type Grid struct {
+	// Matrices lists channel families (see BuildMatrix).
+	Matrices []string `json:"matrices"`
+	// Ks lists opinion-space sizes.
+	Ks []int `json:"ks"`
+	// ChannelEps lists the channel parameter values.
+	ChannelEps []float64 `json:"channel_eps"`
+	// Deltas lists initial plurality biases (see InitialCounts; 0 is
+	// rumor spreading).
+	Deltas []float64 `json:"deltas"`
+	// Ns lists population sizes.
+	Ns []int64 `json:"ns"`
+	// Cs lists Stage-2 constants c (each sets ℓ = ⌈c/ε²⌉ odd); empty
+	// keeps the DefaultParams value.
+	Cs []float64 `json:"cs,omitempty"`
+	// ProtoEps pins the protocol's assumed ε (and hence the schedule)
+	// across the whole grid; 0 lets each point assume its own channel
+	// ε. Threshold maps pin it — the instrument varies the channel
+	// under a fixed protocol.
+	ProtoEps float64 `json:"proto_eps,omitempty"`
+	// Trials is the per-point trial budget.
+	Trials int `json:"trials"`
+	// Engine selects the trial engine for every point (see
+	// Point.Engine).
+	Engine string `json:"engine,omitempty"`
+}
+
+// GridResult is an evaluated grid, points in enumeration order.
+type GridResult struct {
+	Points []PointResult `json:"points"`
+	// ErrorBudget is the summed truncation budget of every trial of
+	// every point — the union-bound probability that any number in the
+	// result diverged from exact process P.
+	ErrorBudget float64 `json:"error_budget"`
+}
+
+// Points enumerates the grid in its deterministic order.
+func (g Grid) Points() ([]Point, error) {
+	if len(g.Matrices) == 0 || len(g.Ks) == 0 || len(g.ChannelEps) == 0 ||
+		len(g.Deltas) == 0 || len(g.Ns) == 0 {
+		return nil, fmt.Errorf("sweep: grid needs at least one matrix, k, ε, δ and n")
+	}
+	if g.Trials < 1 {
+		return nil, fmt.Errorf("sweep: grid needs trials ≥ 1, got %d", g.Trials)
+	}
+	cs := g.Cs
+	if len(cs) == 0 {
+		cs = []float64{0}
+	}
+	var pts []Point
+	for _, m := range g.Matrices {
+		for _, k := range g.Ks {
+			for _, c := range cs {
+				for _, d := range g.Deltas {
+					for _, n := range g.Ns {
+						for _, eps := range g.ChannelEps {
+							proto := g.ProtoEps
+							if proto == 0 {
+								proto = eps
+							}
+							params := defaultPointParams(proto, c)
+							pts = append(pts, Point{
+								Index:      len(pts),
+								Matrix:     m,
+								K:          k,
+								ChannelEps: eps,
+								Delta:      d,
+								N:          n,
+								Engine:     g.Engine,
+								Trials:     g.Trials,
+								Params:     params,
+							})
+						}
+					}
+				}
+			}
+		}
+	}
+	return pts, nil
+}
+
+// RunGrid evaluates every grid point. With Runner.Checkpoint set, each
+// completed point is persisted and a compatible existing file resumes
+// where it left off; the final result is bit-identical either way
+// (every point is a pure function of the spec, the seed and its
+// index).
+func (r Runner) RunGrid(g Grid) (*GridResult, error) {
+	pts, err := g.Points()
+	if err != nil {
+		return nil, err
+	}
+	ck, err := openCheckpoint(r.Checkpoint, "grid", r.Seed, r.z(), g)
+	if err != nil {
+		return nil, err
+	}
+	res := &GridResult{Points: make([]PointResult, len(pts))}
+	for i, p := range pts {
+		pr, ok := ck.get(p.Index)
+		if !ok {
+			pr, err = r.evalPoint(p)
+			if err != nil {
+				return nil, err
+			}
+			if err := ck.put(p.Index, pr); err != nil {
+				return nil, err
+			}
+		}
+		res.Points[i] = pr
+		res.ErrorBudget += pr.ErrorBudget
+	}
+	return res, nil
+}

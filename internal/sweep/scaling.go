@@ -1,0 +1,115 @@
+package sweep
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/gossipkit/noisyrumor/internal/stats"
+)
+
+// Scaling measures T(n), the rounds until every node holds the
+// correct opinion, across decades of n and fits it against ln n — the
+// Theorems-1/2 claim that the full two-stage protocol converges in
+// Θ(log n/ε²) rounds. The census engine's n-independent per-phase
+// cost is what lets the grid reach n = 10¹² on a laptop.
+type Scaling struct {
+	// Matrix / K / Delta / Engine are as in Point.
+	Matrix string  `json:"matrix"`
+	K      int     `json:"k"`
+	Delta  float64 `json:"delta"`
+	Engine string  `json:"engine,omitempty"`
+	// ChannelEps is the channel parameter; ProtoEps the protocol's
+	// assumed ε (0 = ChannelEps).
+	ChannelEps float64 `json:"channel_eps"`
+	ProtoEps   float64 `json:"proto_eps,omitempty"`
+	// Ns lists the populations, one point each.
+	Ns []int64 `json:"ns"`
+	// Trials is the per-point trial budget.
+	Trials int `json:"trials"`
+}
+
+// ScalingResult is the measured T(n) curve and its log-law fit.
+type ScalingResult struct {
+	Points []PointResult `json:"points"`
+	// Fit is the least-squares line MeanRounds = Intercept +
+	// Slope·ln n, with R2 and RMSE (in rounds) as residual measures.
+	Fit stats.Fit `json:"fit"`
+	// ErrorBudget is the summed truncation budget of every trial that
+	// produced the curve.
+	ErrorBudget float64 `json:"error_budget"`
+}
+
+// RunScaling evaluates every population size and fits the log law.
+// With Runner.Checkpoint set, completed points persist and resume as
+// in RunGrid.
+func (r Runner) RunScaling(s Scaling) (*ScalingResult, error) {
+	if len(s.Ns) < 2 {
+		return nil, fmt.Errorf("sweep: scaling needs at least 2 population sizes, got %d", len(s.Ns))
+	}
+	if s.Trials < 1 {
+		return nil, fmt.Errorf("sweep: scaling needs trials ≥ 1, got %d", s.Trials)
+	}
+	proto := s.ProtoEps
+	if proto == 0 {
+		proto = s.ChannelEps
+	}
+	ck, err := openCheckpoint(r.Checkpoint, "scaling", r.Seed, r.z(), s)
+	if err != nil {
+		return nil, err
+	}
+	res := &ScalingResult{Points: make([]PointResult, len(s.Ns))}
+	x := make([]float64, len(s.Ns))
+	y := make([]float64, len(s.Ns))
+	for i, n := range s.Ns {
+		p := Point{
+			Index:      i,
+			Matrix:     s.Matrix,
+			K:          s.K,
+			ChannelEps: s.ChannelEps,
+			Delta:      s.Delta,
+			N:          n,
+			Engine:     s.Engine,
+			Trials:     s.Trials,
+			Params:     defaultPointParams(proto, 0),
+		}
+		pr, ok := ck.get(i)
+		if !ok {
+			pr, err = r.evalPoint(p)
+			if err != nil {
+				return nil, err
+			}
+			if err := ck.put(i, pr); err != nil {
+				return nil, err
+			}
+		}
+		res.Points[i] = pr
+		res.ErrorBudget += pr.ErrorBudget
+		x[i] = math.Log(float64(n))
+		y[i] = pr.MeanRounds
+	}
+	fit, err := stats.LinearFit(x, y)
+	if err != nil {
+		return nil, err
+	}
+	res.Fit = fit
+	return res, nil
+}
+
+// Decades returns populations 10^lo, 10^(lo+1), …, 10^hi — the
+// standard Ns grid of a scaling sweep.
+func Decades(lo, hi int) []int64 {
+	if lo < 0 || hi < lo || hi > 18 {
+		return nil
+	}
+	out := make([]int64, 0, hi-lo+1)
+	v := int64(1)
+	for e := 0; e <= hi; e++ {
+		if e >= lo {
+			out = append(out, v)
+		}
+		if e < hi {
+			v *= 10
+		}
+	}
+	return out
+}

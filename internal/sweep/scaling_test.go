@@ -1,0 +1,73 @@
+package sweep
+
+import (
+	"reflect"
+	"testing"
+)
+
+func testScaling() Scaling {
+	return Scaling{
+		Matrix:     "uniform",
+		K:          3,
+		ChannelEps: 0.3,
+		Delta:      0.2,
+		Ns:         Decades(3, 6),
+		Trials:     6,
+	}
+}
+
+// TestScalingFitsLogLaw: the protocol's rounds-to-all-correct must
+// grow with ln n at a strongly linear fit — the shape of Theorems 1–2
+// — and the fit must arrive with its truncation budget attached.
+func TestScalingFitsLogLaw(t *testing.T) {
+	res, err := Runner{Seed: 17}.RunScaling(testScaling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Points) != 4 {
+		t.Fatalf("scaling evaluated %d points, want 4", len(res.Points))
+	}
+	if res.Fit.Slope <= 0 {
+		t.Fatalf("T(n) slope per ln n is %v, want positive", res.Fit.Slope)
+	}
+	if res.Fit.R2 < 0.9 {
+		t.Fatalf("T(n) vs ln n fit R²=%v, want ≥ 0.9 (RMSE %v rounds)", res.Fit.R2, res.Fit.RMSE)
+	}
+	if res.ErrorBudget <= 0 {
+		t.Fatal("scaling result carries no truncation budget; the wiring is broken")
+	}
+	for _, p := range res.Points {
+		if p.SuccessRate < 0.9 {
+			t.Fatalf("n=%d: success %v at a benign ε, want ≈ 1", p.Point.N, p.SuccessRate)
+		}
+	}
+}
+
+// TestScalingGoldenAcrossWorkerCounts pins the determinism contract
+// for the third sweep mode.
+func TestScalingGoldenAcrossWorkerCounts(t *testing.T) {
+	one, err := Runner{Seed: 23, Workers: 1}.RunScaling(testScaling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	eight, err := Runner{Seed: 23, Workers: 8}.RunScaling(testScaling())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(one, eight) {
+		t.Fatal("scaling result differs between 1 and 8 workers")
+	}
+}
+
+func TestScalingRejectsBadSpecs(t *testing.T) {
+	s := testScaling()
+	s.Ns = s.Ns[:1]
+	if _, err := (Runner{}).RunScaling(s); err == nil {
+		t.Fatal("single-point scaling accepted")
+	}
+	s = testScaling()
+	s.Trials = 0
+	if _, err := (Runner{}).RunScaling(s); err == nil {
+		t.Fatal("zero-trial scaling accepted")
+	}
+}

@@ -1,0 +1,379 @@
+// Package sweep is the phase-diagram instrument of the reproduction:
+// a deterministic parameter-sweep orchestrator that drives the
+// aggregate census engine (and, for cross-checks, the per-node
+// engines) over parameter grids and adaptive searches.
+//
+// The paper's headline results are thresholds and scaling laws —
+// plurality consensus succeeds iff the channel is
+// (ε,δ)-majority-preserving (Theorems 1–2, the Section-4 LP verdict),
+// with Θ(log n/ε²) convergence — and probing a threshold takes
+// thousands of runs, not one. The census engine's n-independent
+// per-phase cost (internal/census) makes that affordable; this
+// package supplies the orchestration:
+//
+//   - Grid — the cartesian fan (matrix, k, ε, δ, n, c) evaluated
+//     point by point, success rates with Wilson intervals;
+//   - Bisect — adaptive bisection locating the critical channel ε*
+//     where the success probability crosses 1/2, with Wilson-interval
+//     early stopping per evaluation, plus LPBoundary, the matching
+//     prediction from the exact majority-preservation LP;
+//   - Scaling — rounds-to-consensus T(n) against ln n across decades
+//     of n, reported as a least-squares slope with residuals.
+//
+// Determinism contract: every result is a pure function of
+// (spec, Runner.Seed). Trials fan out over a worker pool, but trial t
+// of point key p always draws from rng.ForkSeed(ForkSeed(seed, p), t),
+// never from scheduling order — any worker count is bit-identical,
+// pinned by golden tests. Long sweeps checkpoint each completed point
+// to JSON and resume bit-identically (checkpoint.go).
+//
+// Error accounting: every point result carries the summed
+// census.ErrorBudget of its trials — by the union bound, an upper
+// bound on the probability that any trial of that point diverged from
+// an exact process-P run, in the additive-probability currency of the
+// paper's Lemma 3. Estimates and their approximation mass travel
+// together.
+package sweep
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+
+	"github.com/gossipkit/noisyrumor/internal/core"
+	"github.com/gossipkit/noisyrumor/internal/model"
+	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/rng"
+	"github.com/gossipkit/noisyrumor/internal/stats"
+)
+
+// DefaultZ is the Wilson-interval normal quantile used when
+// Runner.Z is zero: two-sided 95%.
+const DefaultZ = 1.96
+
+// Point is one fully materialized parameter point: everything a
+// worker needs to evaluate it, independent of the rest of the sweep.
+type Point struct {
+	// Index is the point's position in its sweep's deterministic
+	// enumeration; it keys the point's random stream and its
+	// checkpoint entry.
+	Index int `json:"index"`
+	// Matrix names the channel family (uniform | binary | identity |
+	// cycle | reset); ChannelEps is its parameter and K its dimension.
+	Matrix     string  `json:"matrix"`
+	K          int     `json:"k"`
+	ChannelEps float64 `json:"channel_eps"`
+	// Delta is the initial plurality bias: opinion 0 leads every rival
+	// by ⌊Delta·N⌋ nodes in a fully opinionated start. Delta = 0 means
+	// rumor spreading from a single source holding opinion 0.
+	Delta float64 `json:"delta"`
+	// N is the population size.
+	N int64 `json:"n"`
+	// Engine selects the trial engine: "" or "census" for the
+	// aggregate census engine (the sweep default — it is what makes
+	// dense sweeps affordable), or "O" | "B" | "P" for per-node
+	// cross-checks at small N.
+	Engine string `json:"engine,omitempty"`
+	// Trials is the point's trial budget.
+	Trials int `json:"trials"`
+	// Params are the protocol constants the point runs under
+	// (Params.Epsilon is the protocol's assumed ε, which the threshold
+	// sweeps deliberately decouple from ChannelEps).
+	Params core.Params `json:"params"`
+}
+
+// PointResult is one evaluated point: the success-probability
+// estimate with its Wilson interval, the mean rounds to all-correct,
+// and the point's accumulated truncation budget.
+type PointResult struct {
+	Point Point `json:"point"`
+	// Trials is the number of trials actually run (Wilson early
+	// stopping may use fewer than Point.Trials).
+	Trials    int `json:"trials"`
+	Successes int `json:"successes"`
+	// SuccessRate is Successes/Trials; WilsonLo/WilsonHi bound it at
+	// the runner's confidence level.
+	SuccessRate float64 `json:"success_rate"`
+	WilsonLo    float64 `json:"wilson_lo"`
+	WilsonHi    float64 `json:"wilson_hi"`
+	// MeanRounds is the mean round count at which all nodes first held
+	// the correct opinion, over all trials (a trial that never got
+	// there contributes its full scheduled length).
+	MeanRounds float64 `json:"mean_rounds"`
+	// ErrorBudget is the summed census.ErrorBudget over the point's
+	// trials: a union-bound on the probability that any of them
+	// diverged from exact process P (zero for per-node engines).
+	ErrorBudget float64 `json:"error_budget"`
+}
+
+// Runner executes sweeps. The zero value runs on GOMAXPROCS workers
+// at 95% confidence with seed 0 and no checkpointing.
+type Runner struct {
+	// Seed drives every random choice of the sweep.
+	Seed uint64
+	// Workers bounds trial parallelism; 0 means GOMAXPROCS. Results
+	// are bit-identical for every worker count.
+	Workers int
+	// Z is the Wilson-interval quantile (0 = DefaultZ).
+	Z float64
+	// Checkpoint, when non-empty, is a JSON file updated after every
+	// completed point; an existing compatible file resumes the sweep
+	// (same spec and seed required), a mismatched one is an error.
+	Checkpoint string
+}
+
+func (r Runner) workers() int {
+	if r.Workers > 0 {
+		return r.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+func (r Runner) z() float64 {
+	if r.Z > 0 {
+		return r.Z
+	}
+	return DefaultZ
+}
+
+// defaultPointParams derives a point's protocol constants: the
+// documented defaults for the assumed ε, with the Stage-2 constant c
+// overridden when non-zero (the ℓ axis of a grid).
+func defaultPointParams(protoEps, c float64) core.Params {
+	params := core.DefaultParams(protoEps)
+	if c > 0 {
+		params.C = c
+	}
+	return params
+}
+
+// BuildMatrix constructs a named noise matrix: uniform | binary |
+// identity | cycle | reset, with parameter eps (identity ignores it).
+// Every sweep mode resolves matrix names through here; cmd/noisyrumor
+// keeps a parallel facade-level switch over the same family names, so
+// a new family must be added to both.
+func BuildMatrix(name string, k int, eps float64) (*noise.Matrix, error) {
+	switch name {
+	case "uniform":
+		return noise.Uniform(k, eps)
+	case "binary":
+		return noise.FHKBinary(eps)
+	case "identity":
+		return noise.Identity(k)
+	case "cycle":
+		return noise.DominantCycle(k, eps)
+	case "reset":
+		return noise.Reset(k, eps)
+	default:
+		return nil, fmt.Errorf("sweep: unknown matrix %q (have uniform, binary, identity, cycle, reset)", name)
+	}
+}
+
+// InitialCounts returns a point's initial opinion census: a fully
+// opinionated population in which opinion 0 leads every rival by
+// ⌊delta·n⌋ nodes (the Definition-1 bias δ), or a single opinion-0
+// source when delta = 0. Opinion 0 is always the designated correct
+// opinion.
+func InitialCounts(n int64, k int, delta float64) ([]int64, error) {
+	if delta < 0 || delta >= 1 {
+		return nil, fmt.Errorf("sweep: initial bias δ=%v outside [0,1)", delta)
+	}
+	counts := make([]int64, k)
+	if delta == 0 {
+		counts[0] = 1
+		return counts, nil
+	}
+	lead := int64(delta * float64(n))
+	rest := n - lead
+	per := rest / int64(k)
+	for i := range counts {
+		counts[i] = per
+	}
+	counts[0] += lead + (rest - per*int64(k))
+	return counts, nil
+}
+
+// trialOut is one trial's record.
+type trialOut struct {
+	correct bool
+	rounds  int
+	budget  float64
+	err     error
+}
+
+// runTrial executes one protocol run of the point on r's stream.
+func runTrial(p Point, nm *noise.Matrix, r *rng.Rand) trialOut {
+	counts, err := InitialCounts(p.N, p.K, p.Delta)
+	if err != nil {
+		return trialOut{err: err}
+	}
+	if p.Engine == "" || p.Engine == "census" {
+		res, err := core.RunCensus(p.N, nm, p.Params, counts, 0, false, r)
+		if err != nil {
+			return trialOut{err: err}
+		}
+		rounds := res.Rounds
+		if res.FirstAllCorrect >= 0 {
+			rounds = res.FirstAllCorrect
+		}
+		return trialOut{correct: res.Correct, rounds: rounds, budget: res.ErrorBudget}
+	}
+	return runPerNodeTrial(p, nm, counts, r)
+}
+
+// runPerNodeTrial is the cross-check path: the same point on a
+// per-node engine (O, B or P).
+func runPerNodeTrial(p Point, nm *noise.Matrix, counts []int64, r *rng.Rand) trialOut {
+	proc, err := model.ProcessByName(p.Engine)
+	if err != nil {
+		return trialOut{err: err}
+	}
+	if proc == model.ProcessCensus {
+		return trialOut{err: fmt.Errorf("sweep: census engine reached the per-node path")}
+	}
+	if int64(int(p.N)) != p.N {
+		return trialOut{err: fmt.Errorf("sweep: n=%d exceeds the per-node engines' range; use the census engine", p.N)}
+	}
+	narrow := make([]int, len(counts))
+	for i, c := range counts {
+		if int64(int(c)) != c {
+			return trialOut{err: fmt.Errorf("sweep: count %d exceeds the per-node engines' range", c)}
+		}
+		narrow[i] = int(c)
+	}
+	var initial []model.Opinion
+	if p.Delta == 0 {
+		initial, err = model.InitRumor(int(p.N), p.K, 0)
+	} else {
+		initial, err = model.InitPlurality(int(p.N), narrow)
+	}
+	if err != nil {
+		return trialOut{err: err}
+	}
+	eng, err := model.NewEngine(int(p.N), nm, proc, r)
+	if err != nil {
+		return trialOut{err: err}
+	}
+	proto, err := core.New(eng, p.Params)
+	if err != nil {
+		return trialOut{err: err}
+	}
+	res, err := proto.Run(initial, 0)
+	if err != nil {
+		return trialOut{err: err}
+	}
+	rounds := res.Rounds
+	if res.FirstAllCorrect >= 0 {
+		rounds = res.FirstAllCorrect
+	}
+	return trialOut{correct: res.Correct, rounds: rounds}
+}
+
+// parallelTrials runs trials start..start+count−1 of a point over a
+// bounded worker pool, in trial order. Trial t's stream is
+// ForkSeed(pointSeed, t) — a pure function of position, so any worker
+// count yields identical results.
+func parallelTrials(workers, start, count int, pointSeed uint64,
+	fn func(trial int, r *rng.Rand) trialOut) []trialOut {
+
+	out := make([]trialOut, count)
+	if count == 0 {
+		return out
+	}
+	if workers > count {
+		workers = count
+	}
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for t := range next {
+				out[t-start] = fn(t, rng.New(rng.ForkSeed(pointSeed, uint64(t))))
+			}
+		}()
+	}
+	for t := start; t < start+count; t++ {
+		next <- t
+	}
+	close(next)
+	wg.Wait()
+	return out
+}
+
+// evalPoint evaluates a full point: all Point.Trials trials, fanned
+// over the runner's workers.
+func (r Runner) evalPoint(p Point) (PointResult, error) {
+	nm, err := BuildMatrix(p.Matrix, p.K, p.ChannelEps)
+	if err != nil {
+		return PointResult{}, fmt.Errorf("sweep: point %d: %w", p.Index, err)
+	}
+	pointSeed := rng.ForkSeed(r.Seed, uint64(p.Index))
+	outs := parallelTrials(r.workers(), 0, p.Trials, pointSeed, func(t int, tr *rng.Rand) trialOut {
+		return runTrial(p, nm, tr)
+	})
+	return r.aggregate(p, outs)
+}
+
+// evalPointAdaptive evaluates a point in batches, stopping early once
+// the Wilson interval of the running success rate excludes 1/2 —
+// the per-point trial-budget economy of the bisection mode. The batch
+// schedule is a pure function of (Trials, batch), never of worker
+// count, so early stopping preserves determinism.
+func (r Runner) evalPointAdaptive(p Point, batch int) (PointResult, error) {
+	nm, err := BuildMatrix(p.Matrix, p.K, p.ChannelEps)
+	if err != nil {
+		return PointResult{}, fmt.Errorf("sweep: point %d: %w", p.Index, err)
+	}
+	if batch <= 0 {
+		batch = p.Trials/8 + 1
+		if batch < 8 {
+			batch = 8
+		}
+	}
+	pointSeed := rng.ForkSeed(r.Seed, uint64(p.Index))
+	var outs []trialOut
+	for len(outs) < p.Trials {
+		count := batch
+		if rem := p.Trials - len(outs); count > rem {
+			count = rem
+		}
+		chunk := parallelTrials(r.workers(), len(outs), count, pointSeed, func(t int, tr *rng.Rand) trialOut {
+			return runTrial(p, nm, tr)
+		})
+		outs = append(outs, chunk...)
+		res, err := r.aggregate(p, outs)
+		if err != nil {
+			return PointResult{}, err
+		}
+		if res.WilsonLo > 0.5 || res.WilsonHi < 0.5 {
+			return res, nil // resolved: provably off 1/2 at this confidence
+		}
+	}
+	return r.aggregate(p, outs)
+}
+
+// aggregate folds trial outcomes into a PointResult.
+func (r Runner) aggregate(p Point, outs []trialOut) (PointResult, error) {
+	res := PointResult{Point: p, Trials: len(outs)}
+	sumRounds := 0.0
+	for i, o := range outs {
+		if o.err != nil {
+			return PointResult{}, fmt.Errorf("sweep: point %d trial %d: %w", p.Index, i, o.err)
+		}
+		if o.correct {
+			res.Successes++
+		}
+		sumRounds += float64(o.rounds)
+		res.ErrorBudget += o.budget
+	}
+	res.SuccessRate = float64(res.Successes) / float64(res.Trials)
+	res.MeanRounds = sumRounds / float64(res.Trials)
+	lo, hi, err := stats.Wilson(res.Successes, res.Trials, r.z())
+	if err != nil {
+		return PointResult{}, err
+	}
+	res.WilsonLo, res.WilsonHi = lo, hi
+	return res, nil
+}

@@ -336,11 +336,13 @@ func PluralityConsensus(cfg Config, counts []int) (Result, error) {
 			if c < 0 {
 				return Result{}, fmt.Errorf("noisyrumor: counts[%d] = %d negative", i, c)
 			}
+			// Compare before adding so a sum past int64 cannot wrap
+			// negative and dodge the bound check.
+			if int64(c) > cfg.N-total {
+				return Result{}, fmt.Errorf("noisyrumor: counts sum beyond N=%d", cfg.N)
+			}
 			wide[i] = int64(c)
 			total += int64(c)
-		}
-		if total > cfg.N {
-			return Result{}, fmt.Errorf("noisyrumor: counts sum to %d > N=%d", total, cfg.N)
 		}
 		res, err := RunCensus(cfg, wide, plurality)
 		return res.Result, err
