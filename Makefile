@@ -8,7 +8,7 @@ GO ?= go
 # census engine (n-independent, so even its n=10⁹ phases are CI-fast).
 # The n=10⁵/10⁷ headline benches are excluded here and run by
 # `make bench-json`.
-QUICK_BENCH := 'BenchmarkE[0-9]+|BenchmarkPhase(Process|(Batch|Parallel)(Process|.*LargeN))|BenchmarkCensusPhase|BenchmarkSweep'
+QUICK_BENCH := 'BenchmarkE[0-9]+|BenchmarkPhase(Process|(Batch|Parallel)(Process|.*LargeN))|BenchmarkCensusPhase|BenchmarkMajorityLaw|BenchmarkSweep'
 
 # Headline perf-trajectory benches recorded in BENCH_<n>.json.
 HEADLINE_BENCH := 'BenchmarkRumorSpreading($$|Huge)|BenchmarkPhase(Batch|Parallel)Huge|BenchmarkAblationEngine|BenchmarkCensusSweepHuge'
@@ -19,7 +19,7 @@ HEADLINE_BENCH := 'BenchmarkRumorSpreading($$|Huge)|BenchmarkPhase(Batch|Paralle
 # specific point.
 BENCH_N ?= $(shell i=1; while [ -e BENCH_$$i.json ]; do i=$$((i+1)); done; echo $$i)
 
-.PHONY: build vet test race sweep-smoke bench-quick bench-json check clean
+.PHONY: build vet test race sweep-smoke bench-quick bench-json profile check clean
 
 build:
 	$(GO) build ./...
@@ -51,12 +51,29 @@ bench-quick:
 bench-json:
 	{ $(GO) test -run '^$$' -bench $(HEADLINE_BENCH) -benchtime 2x -timeout 60m . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkPhase(Batch|Parallel)Huge' -benchtime 2x -timeout 60m ./internal/model ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkCensusPhase' -benchtime 2x -timeout 60m ./internal/census ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkCensusPhase(Stage1|Huge)' -benchtime 2x -timeout 60m ./internal/census ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkCensusPhaseStage2|BenchmarkMajorityLaw' -benchtime 20x -timeout 60m ./internal/census ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkSweepGridPoints' -benchtime 2x -timeout 60m ./internal/sweep ; } \
 	| tee /dev/stderr \
 	| $(GO) run ./cmd/benchjson -label BENCH_$(BENCH_N) > BENCH_$(BENCH_N).json
+
+# profile records CPU and allocation pprof profiles of the two Stage-2
+# hot paths — the n = 10⁹ census Stage-2 phase (exact + quantized) and
+# the threshold-straddling sweep grid — so hot-path PRs start from a
+# measured profile instead of a guess (see DESIGN.md §4). Inspect with
+#   go tool pprof -top profiles/census_cpu.prof
+profile:
+	mkdir -p profiles
+	$(GO) test -run '^$$' -bench 'BenchmarkCensusPhaseStage2' -benchtime 50x -timeout 30m \
+	    -cpuprofile profiles/census_cpu.prof -memprofile profiles/census_mem.prof \
+	    -o profiles/census.test ./internal/census
+	$(GO) test -run '^$$' -bench 'BenchmarkSweepGridPoints' -benchtime 5x -timeout 30m \
+	    -cpuprofile profiles/sweep_cpu.prof -memprofile profiles/sweep_mem.prof \
+	    -o profiles/sweep.test ./internal/sweep
+	@echo "profiles written to profiles/; inspect with: go tool pprof -top profiles/census_cpu.prof"
 
 check: build vet race sweep-smoke bench-quick
 
 clean:
 	$(GO) clean ./...
+	rm -rf profiles

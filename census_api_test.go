@@ -86,6 +86,79 @@ func TestRunCensusExposesBudget(t *testing.T) {
 	}
 }
 
+// TestCensusKnobsThreadThrough: the facade-level LawQuant/CensusTol
+// knobs must reach the engine — quantization adds coupling mass to
+// the reported budget, a loosened tolerance grows it, LawQuant = 0 is
+// bit-identical to a knob-free config, and the Params-level fields
+// win over the Config-level ones (the single-resolution-path rule).
+func TestCensusKnobsThreadThrough(t *testing.T) {
+	nm, err := UniformNoise(4, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int64{3_000_000, 2_600_000, 2_400_000, 2_000_000}
+	base := Config{N: 10_000_000, Noise: nm, Params: DefaultParams(0.25), Seed: 3}
+	exact, err := RunCensus(base, counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	zeroQuant := base
+	zeroQuant.LawQuant = 0
+	same, err := RunCensus(zeroQuant, counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(exact, same) {
+		t.Fatal("LawQuant: 0 is not bit-identical to the knob-free config")
+	}
+
+	quant := base
+	quant.LawQuant = 1e-3
+	qres, err := RunCensus(quant, counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if qres.ErrorBudget <= exact.ErrorBudget {
+		t.Fatalf("quantized budget %v not above exact %v; Config.LawQuant is not wired", qres.ErrorBudget, exact.ErrorBudget)
+	}
+
+	loose := base
+	loose.CensusTol = 1e-6
+	lres, err := RunCensus(loose, counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lres.ErrorBudget <= exact.ErrorBudget {
+		t.Fatalf("loosened-tolerance budget %v not above default %v; Config.CensusTol is not wired", lres.ErrorBudget, exact.ErrorBudget)
+	}
+
+	// Params-level fields win over the Config-level ones.
+	both := quant
+	both.Params.LawQuant = 1e-2
+	bres, err := RunCensus(both, counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	paramsOnly := base
+	paramsOnly.Params.LawQuant = 1e-2
+	pres, err := RunCensus(paramsOnly, counts, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(bres, pres) {
+		t.Fatal("Params.LawQuant did not win over Config.LawQuant")
+	}
+
+	// A knob-only Params still derives default protocol constants (the
+	// zero-sentinel exclusion), rather than failing ε validation.
+	knobOnly := Config{N: 1_000_000, Noise: nm, Seed: 4, LawQuant: 1e-3}
+	knobOnly.Params = Params{CensusTol: 1e-10}
+	if _, err := RunCensus(knobOnly, []int64{400_000, 300_000, 200_000, 100_000}, 0); err != nil {
+		t.Fatalf("knob-only Params rejected: %v", err)
+	}
+}
+
 // TestRunWithCensusEngineMatchesCounts: Run under Engine:
 // ProcessCensus summarizes a per-node initial vector by its census —
 // same seed, same outcome as the counts-based entry point.

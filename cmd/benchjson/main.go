@@ -138,11 +138,22 @@ func parse(in io.Reader) (*Report, error) {
 func derive(rep *Report) {
 	var loop, batch, hugeBatch, hugeParallel float64
 	var phaseBatchHuge, censusPhaseHuge, censusSweepHuge float64
-	var sweepPointsPerSec float64
+	var sweepPointsPerSec, sweepPointsPerSecQuant, lawCacheHitRate float64
+	var stage2Phase, stage2PhaseQuant float64
 	for _, b := range rep.Benchmarks {
 		switch {
+		case strings.Contains(b.Name, "SweepGridPointsQuant"):
+			// Must precede the plain SweepGridPoints case: the quantized
+			// benchmark's name contains the exact one's as a prefix.
+			sweepPointsPerSecQuant = b.Extra["points/s"]
+			lawCacheHitRate = b.Extra["hit%"]
 		case strings.Contains(b.Name, "SweepGridPoints"):
 			sweepPointsPerSec = b.Extra["points/s"]
+		case strings.Contains(b.Name, "CensusPhaseStage2Quant"):
+			// Same prefix trap as the sweep pair.
+			stage2PhaseQuant = b.NsPerOp
+		case strings.Contains(b.Name, "CensusPhaseStage2"):
+			stage2Phase = b.NsPerOp
 		case strings.HasSuffix(b.Name, "backend=loop") && strings.Contains(b.Name, "RumorSpreading/"):
 			loop = b.NsPerOp
 		case strings.HasSuffix(b.Name, "backend=batch") && strings.Contains(b.Name, "RumorSpreading/"):
@@ -182,8 +193,24 @@ func derive(rep *Report) {
 		add("full_run_census_n1e9_speedup_over_batch_n1e7", hugeBatch/censusSweepHuge)
 	}
 	// The phase-diagram instrument's throughput: threshold-straddling
-	// grid points (n = 10⁵, 25 trials each) evaluated per second.
+	// grid points (n = 10⁵, 25 trials each) evaluated per second,
+	// exact and under the η = 10⁻³ Stage-2 law cache.
 	if sweepPointsPerSec > 0 {
 		add("sweep_grid_points_per_sec", sweepPointsPerSec)
+	}
+	if sweepPointsPerSecQuant > 0 {
+		add("sweep_grid_points_per_sec_quant", sweepPointsPerSecQuant)
+	}
+	if sweepPointsPerSec > 0 && sweepPointsPerSecQuant > 0 {
+		add("sweep_grid_speedup_quant_over_exact", sweepPointsPerSecQuant/sweepPointsPerSec)
+	}
+	// The realized law-cache hit rate of the quantized sweep (0..1).
+	if lawCacheHitRate > 0 {
+		add("law_cache_hit_rate", lawCacheHitRate/100)
+	}
+	// One n = 10⁹ Stage-2 phase, exact vs steady-state quantized — the
+	// per-phase view of the law cache.
+	if stage2Phase > 0 && stage2PhaseQuant > 0 {
+		add("stage2_phase_speedup_quant_over_exact", stage2Phase/stage2PhaseQuant)
 	}
 }

@@ -119,3 +119,48 @@ func TestDeriveSweepThroughput(t *testing.T) {
 		t.Fatal("sweep throughput derived without the benchmark present")
 	}
 }
+
+const sampleQuant = `
+goos: linux
+BenchmarkCensusPhaseStage2      	      20	   3200000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkCensusPhaseStage2Quant 	      20	    160000 ns/op	       0 B/op	       0 allocs/op
+BenchmarkSweepGridPoints 	       2	  20619568 ns/op	       582.0 points/s	   98956 B/op	    1651 allocs/op
+BenchmarkSweepGridPointsQuant 	       2	   2157284 ns/op	        96.33 hit%	      5563 points/s	  152032 B/op	    4146 allocs/op
+PASS
+`
+
+// TestDeriveQuantMetrics: the law-cache metrics — and the name-prefix
+// disambiguation between the exact and Quant benchmarks — must derive
+// correctly.
+func TestDeriveQuantMetrics(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleQuant))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Derived["sweep_grid_points_per_sec"]; got != 582.0 {
+		t.Fatalf("exact sweep throughput = %v, want 582 (prefix clash with Quant?)", got)
+	}
+	if got := rep.Derived["sweep_grid_points_per_sec_quant"]; got != 5563 {
+		t.Fatalf("quantized sweep throughput = %v, want 5563", got)
+	}
+	if got := rep.Derived["sweep_grid_speedup_quant_over_exact"]; got < 9.5 || got > 9.6 {
+		t.Fatalf("quantized sweep speedup = %v", got)
+	}
+	if got := rep.Derived["law_cache_hit_rate"]; got < 0.9632 || got > 0.9634 {
+		t.Fatalf("law-cache hit rate = %v, want ≈ 0.9633", got)
+	}
+	if got := rep.Derived["stage2_phase_speedup_quant_over_exact"]; got != 20 {
+		t.Fatalf("stage-2 phase speedup = %v, want 20", got)
+	}
+	// With only the exact pair present, the quant keys stay absent.
+	rep, err = parse(strings.NewReader(sampleSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"sweep_grid_points_per_sec_quant", "law_cache_hit_rate",
+		"stage2_phase_speedup_quant_over_exact", "sweep_grid_speedup_quant_over_exact"} {
+		if _, ok := rep.Derived[key]; ok {
+			t.Fatalf("%s derived without the quant benchmarks present", key)
+		}
+	}
+}

@@ -45,6 +45,10 @@ func run(args []string, out io.Writer) error {
 			"communication engine for protocol trials ("+strings.Join(model.ProcessNames(), ", ")+"; empty = O; census runs trials on the n-independent aggregate engine)")
 		threads = fs.Int("threads", 0,
 			"intra-phase worker count for the parallel backend (0 = GOMAXPROCS)")
+		lawQuant = fs.Float64("law-quant", 0,
+			"census Stage-2 law quantization step η for census-engine trials, incl. the sweep-driven E21/E22 (0 = exact; try 1e-3; the extra coupling mass is reported in every budget)")
+		censusTol = fs.Float64("census-tol", 0,
+			"census Stage-2 truncation tolerance override for census-engine trials (0 = the engine default 1e-13)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,7 +78,8 @@ func run(args []string, out io.Writer) error {
 	if set["threads"] && *backend != "parallel" {
 		return fmt.Errorf("-threads only applies to -backend parallel, got backend %q (use -workers for trial parallelism)", *backend)
 	}
-	cfg := sim.Config{Seed: *seed, Quick: *quick, Workers: *workers, Backend: *backend, Engine: *engine, Threads: *threads}
+	cfg := sim.Config{Seed: *seed, Quick: *quick, Workers: *workers, Backend: *backend, Engine: *engine,
+		Threads: *threads, LawQuant: *lawQuant, CensusTol: *censusTol}
 
 	var exps []sim.Experiment
 	if strings.EqualFold(*runID, "all") {
@@ -85,6 +90,26 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("unknown experiment %q (have E1…E22)", *runID)
 		}
 		exps = []sim.Experiment{e}
+	}
+
+	// The census knobs reach census-engine trials only: protocol trials
+	// under -engine census, and the sweep-driven E21/E22 (census
+	// regardless of -engine). Any other combination would silently
+	// no-op the knobs — reject it against the resolved experiment set.
+	if (set["law-quant"] || set["census-tol"]) && proc != model.ProcessCensus {
+		if set["engine"] {
+			return fmt.Errorf("-law-quant/-census-tol apply to the census engine only, got -engine %q; drop one of the two flags", *engine)
+		}
+		sweepDriven := false
+		for _, e := range exps {
+			if e.ID == "E21" || e.ID == "E22" {
+				sweepDriven = true
+				break
+			}
+		}
+		if !sweepDriven {
+			return fmt.Errorf("-law-quant/-census-tol would have no effect: experiment %s runs per-node trials under the default engine (add -engine census, or run the sweep-driven E21/E22)", *runID)
+		}
 	}
 
 	var reports []*sim.Report

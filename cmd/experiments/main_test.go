@@ -97,6 +97,12 @@ func TestRunRejectsContradictoryFlags(t *testing.T) {
 		{"threads with census engine", []string{"-run", "E1", "-quick", "-engine", "census", "-threads", "8"}},
 		{"threads without parallel backend", []string{"-run", "E1", "-quick", "-threads", "4"}},
 		{"threads with batch backend", []string{"-run", "E1", "-quick", "-backend", "batch", "-threads", "4"}},
+		{"law-quant with per-node engine", []string{"-run", "E1", "-quick", "-engine", "B", "-law-quant", "1e-3"}},
+		{"census-tol with per-node engine", []string{"-run", "E1", "-quick", "-engine", "O", "-census-tol", "1e-9"}},
+		{"law-quant on a non-sweep experiment without census engine",
+			[]string{"-run", "E1", "-quick", "-law-quant", "1e-3"}},
+		{"census-tol on a non-sweep experiment without census engine",
+			[]string{"-run", "E4", "-quick", "-census-tol", "1e-9"}},
 	}
 	for _, c := range cases {
 		if err := run(c.args, io.Discard); err == nil {
@@ -110,5 +116,15 @@ func TestRunRejectsContradictoryFlags(t *testing.T) {
 	}
 	if !strings.Contains(b.String(), "E1") {
 		t.Fatalf("unexpected output:\n%s", b.String())
+	}
+	// The census knobs with the census engine — and with no explicit
+	// engine at all (the sweep-driven E21/E22 run census regardless) —
+	// are the intended uses.
+	if err := run([]string{"-run", "E1", "-quick", "-engine", "census", "-law-quant", "1e-3", "-census-tol", "1e-9"},
+		io.Discard); err != nil {
+		t.Fatalf("census engine with knobs rejected: %v", err)
+	}
+	if err := run([]string{"-run", "E21", "-quick", "-law-quant", "1e-3"}, io.Discard); err != nil {
+		t.Fatalf("E21 with -law-quant rejected: %v", err)
 	}
 }

@@ -41,7 +41,11 @@ func run(args []string, out io.Writer) error {
 		correct = fs.Int("correct", 0, "the source's opinion (rumor spreading only)")
 		engine  = fs.String("engine", "", "communication engine: "+strings.Join(noisyrumor.Engines(), " | ")+" (empty = O; census is the n-independent aggregate engine)")
 		backend = fs.String("backend", "", "sampling backend: "+strings.Join(noisyrumor.Backends(), " | ")+" (empty = loop; census engine ignores it)")
-		threads = fs.Int("threads", 0, "intra-phase worker count for the parallel backend (0 = GOMAXPROCS)")
+		threads  = fs.Int("threads", 0, "intra-phase worker count for the parallel backend (0 = GOMAXPROCS)")
+		lawQuant = fs.Float64("law-quant", 0,
+			"census Stage-2 law quantization step η: memoize the majority law on the η-lattice, charging n·ℓ·d_TV per phase into the error budget (0 = exact; try 1e-3; census engine only)")
+		censusTol = fs.Float64("census-tol", 0,
+			"census Stage-2 truncation tolerance override (0 = the engine default 1e-13; census engine only)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -62,6 +66,13 @@ func run(args []string, out io.Writer) error {
 		if set["threads"] {
 			return fmt.Errorf("-threads has no effect with -engine census (the aggregate engine has no per-node sampling to parallelize); drop -threads or pick a per-node engine")
 		}
+	} else {
+		if set["law-quant"] {
+			return fmt.Errorf("-law-quant has no effect without -engine census (per-node engines evaluate no aggregate Stage-2 law); add -engine census or drop the flag")
+		}
+		if set["census-tol"] {
+			return fmt.Errorf("-census-tol has no effect without -engine census (per-node engines have no truncation tolerance); add -engine census or drop the flag")
+		}
 	}
 	if set["threads"] && *backend != "parallel" {
 		return fmt.Errorf("-threads only applies to -backend parallel, got backend %q", *backend)
@@ -74,14 +85,16 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	cfg := noisyrumor.Config{
-		N:       *n,
-		Noise:   nm,
-		Params:  noisyrumor.DefaultParams(*eps),
-		Seed:    *seed,
-		Trace:   *trace,
-		Engine:  proc,
-		Backend: *backend,
-		Threads: *threads,
+		N:         *n,
+		Noise:     nm,
+		Params:    noisyrumor.DefaultParams(*eps),
+		Seed:      *seed,
+		Trace:     *trace,
+		Engine:    proc,
+		Backend:   *backend,
+		Threads:   *threads,
+		LawQuant:  *lawQuant,
+		CensusTol: *censusTol,
 	}
 	header := fmt.Sprintf("n=%d k=%d ε=%v matrix=%s engine=%v seed=%d", *n, nm.K(), *eps, *matrix, proc, *seed)
 

@@ -111,6 +111,12 @@ func TestRunRejectsContradictoryFlags(t *testing.T) {
 			"-backend", "batch", "-threads", "4"}},
 		{"correct with counts", []string{"-n", "300", "-k", "3", "-eps", "0.4",
 			"-counts", "60,40,20", "-correct", "1"}},
+		{"law-quant without census engine", []string{"-n", "300", "-k", "2", "-eps", "0.4",
+			"-law-quant", "1e-3"}},
+		{"law-quant with per-node engine", []string{"-n", "300", "-k", "2", "-eps", "0.4",
+			"-engine", "B", "-law-quant", "1e-3"}},
+		{"census-tol without census engine", []string{"-n", "300", "-k", "2", "-eps", "0.4",
+			"-census-tol", "1e-9"}},
 	}
 	for _, c := range cases {
 		if err := run(c.args, io.Discard); err == nil {
@@ -125,6 +131,11 @@ func TestRunRejectsContradictoryFlags(t *testing.T) {
 	}
 	if err := run([]string{"-n", "300", "-k", "3", "-eps", "0.4", "-correct", "1"}, io.Discard); err != nil {
 		t.Errorf("rumor -correct rejected: %v", err)
+	}
+	// The census knobs with the census engine are the intended use.
+	if err := run([]string{"-n", "300", "-k", "2", "-eps", "0.4",
+		"-engine", "census", "-law-quant", "1e-3", "-census-tol", "1e-9"}, io.Discard); err != nil {
+		t.Errorf("census engine with -law-quant/-census-tol rejected: %v", err)
 	}
 }
 

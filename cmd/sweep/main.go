@@ -13,6 +13,8 @@
 //	    -proto-eps 0.4 -lo 0.1 -hi 0.3 -tol 0.005 -trials 400
 //	sweep scaling -matrix uniform -k 3 -eps 0.3 -decades 3-12 -trials 12
 //	sweep grid ... -checkpoint sweep.ck.json   # interrupt and re-run to resume
+//	sweep bisect ... -law-quant 1e-3           # Stage-2 law cache: ~order-of-
+//	    # magnitude faster, the n·ℓ·d_TV coupling mass added to every budget
 package main
 
 import (
@@ -54,21 +56,46 @@ func run(args []string, out io.Writer) error {
 
 // commonFlags registers the flags every mode shares.
 type commonFlags struct {
+	fs         *flag.FlagSet
 	seed       *uint64
 	workers    *int
 	checkpoint *string
 	jsonOut    *bool
 	engine     *string
+	lawQuant   *float64
+	censusTol  *float64
 }
 
 func registerCommon(fs *flag.FlagSet) commonFlags {
 	return commonFlags{
+		fs:         fs,
 		seed:       fs.Uint64("seed", 1, "random seed (results are a pure function of spec+seed)"),
 		workers:    fs.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS; any value is bit-identical)"),
 		checkpoint: fs.String("checkpoint", "", "JSON checkpoint path; an existing compatible file resumes the sweep"),
 		jsonOut:    fs.Bool("json", false, "emit the full result as JSON instead of tables"),
 		engine:     fs.String("engine", "census", "trial engine: census (n-independent) or O | B | P (per-node cross-checks)"),
+		lawQuant: fs.Float64("law-quant", 0,
+			"census Stage-2 law quantization step η: round the pool distribution onto the η-lattice and memoize the majority law, charging n·ℓ·d_TV per phase into the reported budget (0 = exact; try 1e-3)"),
+		censusTol: fs.Float64("census-tol", 0,
+			"census Stage-2 truncation tolerance override (0 = the engine default 1e-13)"),
 	}
+}
+
+// validate rejects contradictory flag combinations instead of
+// silently ignoring the losing flag — the census-only knobs have no
+// effect on the per-node cross-check engines.
+func (c commonFlags) validate() error {
+	set := map[string]bool{}
+	c.fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	if engineName(*c.engine) != "" {
+		if set["law-quant"] {
+			return fmt.Errorf("-law-quant applies to the census engine only, got -engine %q; drop one of the two flags", *c.engine)
+		}
+		if set["census-tol"] {
+			return fmt.Errorf("-census-tol applies to the census engine only, got -engine %q; drop one of the two flags", *c.engine)
+		}
+	}
+	return nil
 }
 
 func (c commonFlags) runner() sweep.Runner {
@@ -91,11 +118,16 @@ func runGrid(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := common.validate(); err != nil {
+		return err
+	}
 	g := sweep.Grid{
-		Matrices: splitStrings(*matrix),
-		Trials:   *trials,
-		ProtoEps: *protoEps,
-		Engine:   engineName(*common.engine),
+		Matrices:  splitStrings(*matrix),
+		Trials:    *trials,
+		ProtoEps:  *protoEps,
+		Engine:    engineName(*common.engine),
+		LawQuant:  *common.lawQuant,
+		CensusTol: *common.censusTol,
 	}
 	var err error
 	if g.Ks, err = parseInts(*ks); err != nil {
@@ -154,6 +186,9 @@ func runBisect(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := common.validate(); err != nil {
+		return err
+	}
 	nv, err := parseInt64s(*n)
 	if err != nil || len(nv) != 1 {
 		return fmt.Errorf("-n: want one population size, got %q", *n)
@@ -161,7 +196,7 @@ func runBisect(args []string, out io.Writer) error {
 	b := sweep.Bisect{
 		Matrix: *matrix, K: *k, N: nv[0], Delta: *delta, ProtoEps: *protoEps, C: *c,
 		Lo: *lo, Hi: *hi, Tol: *tol, Trials: *trials, Batch: *batch, MaxEvals: *maxEvals,
-		Engine: engineName(*common.engine),
+		Engine: engineName(*common.engine), LawQuant: *common.lawQuant, CensusTol: *common.censusTol,
 	}
 	res, err := common.runner().RunBisect(b)
 	if err != nil {
@@ -205,9 +240,13 @@ func runScaling(args []string, out io.Writer) error {
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	if err := common.validate(); err != nil {
+		return err
+	}
 	s := sweep.Scaling{
 		Matrix: *matrix, K: *k, ChannelEps: *eps, ProtoEps: *protoEps,
 		Delta: *delta, Trials: *trials, Engine: engineName(*common.engine),
+		LawQuant: *common.lawQuant, CensusTol: *common.censusTol,
 	}
 	if *ns != "" {
 		var err error

@@ -106,10 +106,35 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"scaling", "-decades", "0-6"},
 		{"scaling", "-decades", "x"},
 		{"scaling", "-n", "1000"},
+		// The census knobs contradict a per-node cross-check engine.
+		{"grid", "-engine", "B", "-law-quant", "1e-3"},
+		{"grid", "-engine", "O", "-census-tol", "1e-9"},
+		{"bisect", "-engine", "P", "-law-quant", "1e-3"},
+		{"scaling", "-engine", "B", "-census-tol", "1e-9"},
+		// Out-of-range knob values surface as trial errors up front.
+		{"grid", "-matrix", "uniform", "-k", "3", "-eps", "0.3", "-delta", "0.1",
+			"-n", "2000", "-trials", "2", "-law-quant", "-1"},
 	}
 	for _, args := range cases {
 		if err := run(args, io.Discard); err == nil {
 			t.Fatalf("args %v accepted", args)
+		}
+	}
+}
+
+// TestRunGridQuantSmoke: the quantized hot path through the full CLI
+// surface — the η = 10⁻³ grid must run and keep reporting a budget.
+func TestRunGridQuantSmoke(t *testing.T) {
+	var b strings.Builder
+	err := run([]string{"grid", "-matrix", "uniform", "-k", "3", "-eps", "0.15,0.35",
+		"-delta", "0.1", "-n", "2000", "-trials", "3", "-seed", "7",
+		"-law-quant", "1e-3", "-census-tol", "1e-10"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{"2 points", "budget"} {
+		if !strings.Contains(b.String(), want) {
+			t.Fatalf("output missing %q:\n%s", want, b.String())
 		}
 	}
 }

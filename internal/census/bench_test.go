@@ -1,6 +1,7 @@
 package census_test
 
 import (
+	"fmt"
 	"testing"
 
 	"github.com/gossipkit/noisyrumor/internal/census"
@@ -9,13 +10,13 @@ import (
 )
 
 // benchPhase times one census phase at population n: stage 1 when
-// ell == 0, otherwise a Stage-2 phase with sample size ell. The
-// numbers are n-independent by construction — compare
-// BenchmarkCensusPhaseHuge against internal/model's
-// BenchmarkPhaseBatchHuge (same n = 10⁷, k = 4, 114-round workload)
-// for the census-over-batch headline; cmd/benchjson derives the
-// ratio.
-func benchPhase(b *testing.B, n int64, k int, rounds, ell int) {
+// ell == 0, otherwise a Stage-2 phase with sample size ell; eta is
+// the Stage-2 law quantization step (0 = exact). The numbers are
+// n-independent by construction — compare BenchmarkCensusPhaseHuge
+// against internal/model's BenchmarkPhaseBatchHuge (same n = 10⁷,
+// k = 4, 114-round workload) for the census-over-batch headline;
+// cmd/benchjson derives the ratio.
+func benchPhase(b *testing.B, n int64, k int, rounds, ell int, eta float64) {
 	b.Helper()
 	nm, err := noise.Uniform(k, 0.25)
 	if err != nil {
@@ -29,6 +30,9 @@ func benchPhase(b *testing.B, n int64, k int, rounds, ell int) {
 	}
 	eng, err := census.New(n, nm, rng.New(1))
 	if err != nil {
+		b.Fatal(err)
+	}
+	if err := eng.SetLawQuant(eta); err != nil {
 		b.Fatal(err)
 	}
 	b.ReportAllocs()
@@ -53,14 +57,23 @@ func benchPhase(b *testing.B, n int64, k int, rounds, ell int) {
 // BenchmarkCensusPhaseStage1 is the Stage-1 adoption law at n = 10⁹ —
 // closed form, so it prices the noise split and the transition draw.
 func BenchmarkCensusPhaseStage1(b *testing.B) {
-	benchPhase(b, 1_000_000_000, 5, 7, 0)
+	benchPhase(b, 1_000_000_000, 5, 7, 0, 0)
 }
 
 // BenchmarkCensusPhaseStage2 is a regular n = 10⁹ Stage-2 phase
 // (ℓ = 81, the ε = 0.25 schedule) — dominated by the majority-law
 // truncated summation.
 func BenchmarkCensusPhaseStage2(b *testing.B) {
-	benchPhase(b, 1_000_000_000, 5, 162, 81)
+	benchPhase(b, 1_000_000_000, 5, 162, 81, 0)
+}
+
+// BenchmarkCensusPhaseStage2Quant is the same phase under the η = 10⁻³
+// law cache: the first iteration pays one evaluation at the lattice
+// point, every later one is a lookup plus the noise split and the
+// transition draws — the steady-state cost of a quantized sweep phase.
+// cmd/benchjson derives the stage-2 speedup from the Stage2 pair.
+func BenchmarkCensusPhaseStage2Quant(b *testing.B) {
+	benchPhase(b, 1_000_000_000, 5, 162, 81, 1e-3)
 }
 
 // BenchmarkCensusPhaseHuge is the n = 10⁷ phase of
@@ -69,5 +82,33 @@ func BenchmarkCensusPhaseStage2(b *testing.B) {
 // The batch backend pays Ω(n·k) here; the census engine's cost has no
 // n in it at all.
 func BenchmarkCensusPhaseHuge(b *testing.B) {
-	benchPhase(b, 10_000_000, 4, 114, 57)
+	benchPhase(b, 10_000_000, 4, 114, 57, 0)
+}
+
+// BenchmarkMajorityLaw prices the Stage-2 law evaluation itself over a
+// (k, ℓ) grid — the law-level view that makes law regressions visible
+// independently of phase-level numbers (which mix in the noise split
+// and the transition draws). k = 2 exercises the analytic binomial
+// fast path; larger k the rival DP with its truncation windows.
+func BenchmarkMajorityLaw(b *testing.B) {
+	for _, k := range []int{2, 3, 5, 8} {
+		for _, ell := range []int{11, 33, 81, 665} {
+			q := make([]float64, k)
+			rest := 1.0
+			q[0] = 1.0/float64(k) + 0.05
+			rest -= q[0]
+			for j := 1; j < k; j++ {
+				q[j] = rest / float64(k-1)
+			}
+			b.Run(fmt.Sprintf("k=%d/ell=%d", k, ell), func(b *testing.B) {
+				b.ReportAllocs()
+				for i := 0; i < b.N; i++ {
+					r, _ := census.MajorityLaw(q, ell, census.DefaultTolerance)
+					if r[0] <= r[1] {
+						b.Fatal("majority law lost the plurality")
+					}
+				}
+			})
+		}
+	}
 }

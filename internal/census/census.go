@@ -34,10 +34,12 @@
 //     term's mass accounted.
 //
 // Exactness contract: the engine samples process P's census chain
-// exactly except for the Stage-2 truncation, whose accumulated
-// total-variation mass is exposed as Engine.ErrorBudget — the same
-// currency as the paper's Lemma-3 coupling argument, which transfers
-// w.h.p. events from P to the real process O at an additive
+// exactly except for the Stage-2 truncation — and, when enabled via
+// SetLawQuant, the Stage-2 q-quantization, whose per-phase coupling
+// bound n·ℓ·d_TV(q, q̂) is charged the same way — with the
+// accumulated total-variation mass exposed as Engine.ErrorBudget: the
+// same currency as the paper's Lemma-3 coupling argument, which
+// transfers w.h.p. events from P to the real process O at an additive
 // probability cost. A caller comparing census sweeps against process
 // O owes Lemma 3's budget; comparing against process P owes only
 // ErrorBudget. At the default tolerance the budget is bounded by
@@ -84,7 +86,10 @@ type Engine struct {
 	counts []int64 // census: nodes currently holding each opinion
 	und    int64   // undecided nodes
 	tol    float64
+	quant  float64 // Stage-2 law quantization step η (0 = exact)
 	budget float64
+	cache  *LawCache // quantized-law memo (nil until quantization is on)
+	law    lawEvaluator
 
 	sent    []int64   // per-opinion sent multiset, reused
 	recv    []int64   // per-opinion post-noise multiset, reused
@@ -93,7 +98,11 @@ type Engine struct {
 	trans   []int64   // per-class transition draw, reused (k+1 wide)
 	probs   []float64 // per-class transition law, reused (k+1 wide)
 	lambda  []float64 // per-opinion Poisson rates, reused
-	scratch []float64
+	scratch []float64 // pool distribution q, reused
+	qhat    []float64 // quantized pool distribution q̂, reused
+	qidx    []int64   // q̂ lattice indices (the cache key), reused
+	lawBuf  []float64 // cached-law copy destination, reused
+	keyBuf  []byte    // cache-key scratch, reused
 }
 
 // New builds a census engine for n nodes under the given noise matrix
@@ -111,22 +120,88 @@ func New(n int64, nm *noise.Matrix, r *rng.Rand) (*Engine, error) {
 	}
 	k := nm.K()
 	return &Engine{
-		n:      n,
-		k:      k,
-		nm:     nm,
-		noisy:  !nm.IsIdentity(),
-		r:      r,
-		counts: make([]int64, k),
-		und:    n,
-		tol:    DefaultTolerance,
-		sent:   make([]int64, k),
-		recv:   make([]int64, k),
-		rowBuf: make([]int64, k),
-		next:   make([]int64, k),
-		trans:  make([]int64, k+1),
-		probs:  make([]float64, k+1),
-		lambda: make([]float64, k),
+		n:       n,
+		k:       k,
+		nm:      nm,
+		noisy:   !nm.IsIdentity(),
+		r:       r,
+		counts:  make([]int64, k),
+		und:     n,
+		tol:     DefaultTolerance,
+		sent:    make([]int64, k),
+		recv:    make([]int64, k),
+		rowBuf:  make([]int64, k),
+		next:    make([]int64, k),
+		trans:   make([]int64, k+1),
+		probs:   make([]float64, k+1),
+		lambda:  make([]float64, k),
+		scratch: make([]float64, k),
+		qhat:    make([]float64, k),
+		qidx:    make([]int64, k),
+		lawBuf:  make([]float64, k),
 	}, nil
+}
+
+// Reset rebinds the engine to a fresh run — population n, channel nm,
+// stream r, initial census counts — reusing every internal buffer,
+// the law evaluator and the law cache, so hot loops (one engine per
+// sweep worker, reused across trials and grid points) run whole
+// trials without allocating. A Reset run is bit-identical to a fresh
+// New+Init engine driven by the same stream. Tolerance, quantization
+// and cache settings carry over; callers that vary them per run must
+// re-Set them.
+func (e *Engine) Reset(n int64, nm *noise.Matrix, r *rng.Rand, counts []int64) error {
+	if n < 1 {
+		return fmt.Errorf("census: Reset with n=%d", n)
+	}
+	if nm == nil {
+		return fmt.Errorf("census: Reset with nil noise matrix")
+	}
+	if r == nil {
+		return fmt.Errorf("census: Reset with nil rng")
+	}
+	e.n = n
+	e.nm = nm
+	e.noisy = !nm.IsIdentity()
+	e.r = r
+	e.budget = 0
+	e.resize(nm.K())
+	return e.Init(counts)
+}
+
+// resize re-slices the k-wide buffers, growing the backing arrays only
+// when a Reset moves to a larger opinion space. All buffers are
+// allocated together, so the counts capacity check covers the k+1-wide
+// ones too.
+func (e *Engine) resize(k int) {
+	if k > cap(e.counts) {
+		e.counts = make([]int64, k)
+		e.sent = make([]int64, k)
+		e.recv = make([]int64, k)
+		e.rowBuf = make([]int64, k)
+		e.next = make([]int64, k)
+		e.trans = make([]int64, k+1)
+		e.probs = make([]float64, k+1)
+		e.lambda = make([]float64, k)
+		e.scratch = make([]float64, k)
+		e.qhat = make([]float64, k)
+		e.qidx = make([]int64, k)
+		e.lawBuf = make([]float64, k)
+	} else {
+		e.counts = e.counts[:k]
+		e.sent = e.sent[:k]
+		e.recv = e.recv[:k]
+		e.rowBuf = e.rowBuf[:k]
+		e.next = e.next[:k]
+		e.trans = e.trans[:k+1]
+		e.probs = e.probs[:k+1]
+		e.lambda = e.lambda[:k]
+		e.scratch = e.scratch[:k]
+		e.qhat = e.qhat[:k]
+		e.qidx = e.qidx[:k]
+		e.lawBuf = e.lawBuf[:k]
+	}
+	e.k = k
 }
 
 // Init sets the census: counts[i] nodes hold opinion i and the
@@ -177,6 +252,42 @@ func (e *Engine) SetTolerance(tol float64) error {
 	}
 	e.tol = tol
 	return nil
+}
+
+// SetLawQuant sets the Stage-2 law quantization step η: the pool
+// distribution q is rounded onto the deterministic η-lattice
+// (renormalized) before the majority law is evaluated, and the
+// evaluation is memoized across phases, trials and engines by the
+// lattice point. Each quantized phase charges the coupling bound
+// n·ℓ·d_TV(q, q̂) into ErrorBudget — the additive total-variation
+// price, in the same Lemma-3 currency as the truncation mass — so
+// estimates and their approximation cost keep traveling together.
+// η = 0 disables quantization (the default): the engine is then
+// bit-identical to an exact-law engine. Non-zero steps below
+// MinLawQuant (or ≥ 1) are rejected.
+func (e *Engine) SetLawQuant(eta float64) error {
+	if math.IsNaN(eta) || eta < 0 || eta >= 1 || (eta > 0 && eta < MinLawQuant) {
+		return fmt.Errorf("census: SetLawQuant(%v)", eta)
+	}
+	e.quant = eta
+	if eta > 0 && e.cache == nil {
+		e.cache = NewLawCache()
+	}
+	return nil
+}
+
+// LawQuant returns the current quantization step (0 = exact).
+func (e *Engine) LawQuant() float64 { return e.quant }
+
+// SetCache makes the engine draw quantized Stage-2 laws from c
+// instead of a private cache — the sharing hook for sweep workers
+// (one cache across all trials of a grid point, and beyond). A nil c
+// is ignored. Sharing is deterministic: cached laws are pure
+// functions of their (q̂, ℓ, tol) key, never of cache state.
+func (e *Engine) SetCache(c *LawCache) {
+	if c != nil {
+		e.cache = c
+	}
 }
 
 // ErrorBudget returns the accumulated truncation mass of the run so
@@ -293,30 +404,13 @@ func (e *Engine) Stage2Phase(rounds, sampleSize int) error {
 	// distribution; it is the same for every class, so the majority
 	// law is evaluated once per phase.
 	q := e.scratch
-	if cap(q) < e.k {
-		q = make([]float64, e.k)
-		e.scratch = q
-	}
-	q = q[:e.k]
 	for j, l := range e.lambda {
 		q[j] = l / lambdaTotal
 	}
-	r, dropped := MajorityLaw(q, sampleSize, e.tol)
-	// Renormalize the truncated law into a proper distribution; the
-	// sampled transition then sits within `dropped` total variation of
-	// the exact one. Every node is update-eligible, so the phase adds
-	// n·dropped to the coupling budget.
-	sum := 0.0
-	for _, v := range r {
-		sum += v
+	r, err := e.stage2Law(q, sampleSize)
+	if err != nil {
+		return err
 	}
-	if sum <= 0 {
-		return fmt.Errorf("census: majority law fully truncated (tol=%v too loose)", e.tol)
-	}
-	for j := range r {
-		r[j] /= sum
-	}
-	e.budget += float64(e.n) * dropped
 	probs := e.probs[:e.k]
 	trans := e.trans[:e.k]
 	next := e.next
@@ -353,4 +447,63 @@ func (e *Engine) Stage2Phase(rounds, sampleSize int) error {
 	}
 	copy(e.counts, next)
 	return nil
+}
+
+// stage2Law returns the phase's renormalized Stage-2 adoption law
+// r = maj(Multinomial(ℓ, ·)) and charges the phase's approximation
+// mass into the engine budget. With quantization off (or the lattice
+// degenerate for this pool point) it evaluates the law at q exactly —
+// the historical path, bit for bit. With quantization on it evaluates
+// at the lattice point q̂ instead, memoized in the law cache, and
+// additionally charges the coupling bound n·ℓ·d_TV(q, q̂): the ℓ
+// subsample draws of one node couple draw-by-draw at total-variation
+// cost d_TV each (maj is a function of the draws, so its law can only
+// be closer), and all n nodes are update-eligible. The law used
+// depends only on (q̂, ℓ, tol) — never on cache state or evaluation
+// order — so quantized runs stay bit-identical at any worker count.
+func (e *Engine) stage2Law(q []float64, ell int) ([]float64, error) {
+	if e.quant > 0 {
+		if dtv, ok := quantizeQ(q, e.quant, e.qhat, e.qidx); ok {
+			e.budget += float64(e.n) * float64(ell) * dtv
+			e.keyBuf = lawKey(e.keyBuf, e.qidx, ell, e.tol)
+			if ent, hit := e.cache.lookup(e.keyBuf); hit {
+				e.budget += float64(e.n) * ent.dropped
+				copy(e.lawBuf, ent.r)
+				return e.lawBuf, nil
+			}
+			law, dropped, err := e.evalRenormLaw(e.qhat, ell)
+			if err != nil {
+				return nil, err
+			}
+			e.cache.store(e.keyBuf, law, dropped)
+			e.budget += float64(e.n) * dropped
+			return law, nil
+		}
+	}
+	law, dropped, err := e.evalRenormLaw(q, ell)
+	if err != nil {
+		return nil, err
+	}
+	e.budget += float64(e.n) * dropped
+	return law, nil
+}
+
+// evalRenormLaw evaluates the majority law at q through the engine's
+// reusable evaluator and renormalizes the truncated result into a
+// proper distribution; the sampled transition then sits within
+// `dropped` total variation of the exact law. The returned slice is
+// the evaluator's buffer, valid until the next evaluation.
+func (e *Engine) evalRenormLaw(q []float64, ell int) ([]float64, float64, error) {
+	r, dropped := e.law.eval(q, ell, e.tol)
+	sum := 0.0
+	for _, v := range r {
+		sum += v
+	}
+	if sum <= 0 {
+		return nil, 0, fmt.Errorf("census: majority law fully truncated (tol=%v too loose)", e.tol)
+	}
+	for j := range r {
+		r[j] /= sum
+	}
+	return r, dropped, nil
 }

@@ -70,7 +70,34 @@ func Stage1Law(lambda []float64) (adopt []float64, stay float64) {
 // independent of n and, once the windows bind, scales with the
 // binomial standard deviations rather than ℓ²; analytic.MajProbs (an
 // exhaustive enumeration) is the cross-check oracle at small ℓ.
+//
+// Two analytic fast paths skip the rival DP entirely while producing
+// bit-identical results (pinned by TestFastPathsBitIdenticalToDP): a
+// point-mass q (the consensus endgame, where most phases of a winning
+// trial live) collapses to r = q in O(k), and k = 2 reduces to the
+// plain binomial tail of TestMajorityLawBinomialIdentity, truncation
+// sites included.
+//
+// MajorityLaw allocates its result and scratch; hot paths hold a
+// lawEvaluator and call eval, which reuses both.
 func MajorityLaw(q []float64, ell int, tol float64) ([]float64, float64) {
+	var ev lawEvaluator
+	return ev.eval(q, ell, tol)
+}
+
+// lawEvaluator owns the reusable buffers of a MajorityLaw evaluation:
+// the result vector and the rival-scan DP scratch. The zero value is
+// ready to use; after the first eval, further calls at the same (or
+// smaller) k and ℓ allocate nothing. The slice returned by eval is
+// owned by the evaluator and valid until the next eval call.
+type lawEvaluator struct {
+	r  []float64
+	dp majorityDP
+}
+
+// eval is MajorityLaw into the evaluator's reusable buffers. See the
+// MajorityLaw contract for semantics; the two are bit-identical.
+func (ev *lawEvaluator) eval(q []float64, ell int, tol float64) ([]float64, float64) {
 	k := len(q)
 	if k == 0 {
 		panic("census: MajorityLaw with empty distribution")
@@ -91,15 +118,56 @@ func MajorityLaw(q []float64, ell int, tol float64) ([]float64, float64) {
 	if math.Abs(total-1) > 1e-9 {
 		panic(fmt.Sprintf("census: MajorityLaw probabilities sum to %v", total))
 	}
-	r := make([]float64, k)
+	if cap(ev.r) < k {
+		ev.r = make([]float64, k)
+	}
+	r := ev.r[:k]
+	for j := range r {
+		r[j] = 0
+	}
 	if k == 1 {
 		r[0] = 1
 		return r, 0
 	}
-	dropped := 0.0
 	mCut := tol / (4 * float64(ell+1))
 	stateCut := tol / (4 * float64(ell+1) * float64(k))
-	dp := newMajorityDP(k, ell)
+	// Point-mass fast path: a degenerate pool puts every subsample ball
+	// on one opinion, so maj = j surely. The general path reproduces
+	// exactly this (the single surviving term is m = ℓ with pm = 1 and
+	// a ball-free rival scan) whenever that term clears the mCut gate —
+	// hence the mCut ≤ 1 guard, which every real tolerance satisfies.
+	if mCut <= 1 {
+		for j, p := range q {
+			if p != 1 {
+				continue
+			}
+			exact := true
+			for i, pi := range q {
+				if i != j && pi != 0 {
+					exact = false
+					break
+				}
+			}
+			if exact {
+				r[j] = 1
+				return r, 0
+			}
+		}
+	}
+	if k == 2 {
+		return ev.evalBinary(q, ell, mCut, stateCut, r)
+	}
+	return ev.evalGeneral(q, ell, mCut, stateCut, r)
+}
+
+// evalGeneral is the winner×count binomial factoring with the rival
+// DP — the path every k ≥ 3 non-degenerate pool takes, and the
+// reference the fast paths are pinned bit-identical against.
+func (ev *lawEvaluator) evalGeneral(q []float64, ell int, mCut, stateCut float64, r []float64) ([]float64, float64) {
+	k := len(q)
+	dropped := 0.0
+	dp := &ev.dp
+	dp.ensure(k, ell)
 	for j := 0; j < k; j++ {
 		if q[j] == 0 {
 			// Y_j = 0 surely; with ℓ ≥ 1 some rival holds a ball, so
@@ -123,6 +191,52 @@ func MajorityLaw(q []float64, ell int, tol float64) ([]float64, float64) {
 	return r, dropped
 }
 
+// evalBinary is the k = 2 analytic fast path: the single rival absorbs
+// all remaining balls, so conditional on Y_j = m the outcome is
+// deterministic — a strict win for m > ℓ−m, a two-way u.a.r. tie at
+// m = ℓ−m, a loss below — and the law is the plain binomial tail of
+// TestMajorityLawBinomialIdentity. Every branch mirrors a winProb
+// branch (balls == 0 / m == 0 early returns, the stateCut prune of the
+// unit root state, the R > m loss) with the same float arithmetic, so
+// the path is bit-identical to the DP at any tolerance.
+func (ev *lawEvaluator) evalBinary(q []float64, ell int, mCut, stateCut float64, r []float64) ([]float64, float64) {
+	dropped := 0.0
+	for j := 0; j < 2; j++ {
+		if q[j] == 0 {
+			continue
+		}
+		for m := 0; m <= ell; m++ {
+			pm := dist.BinomialPMF(ell, m, q[j])
+			if pm == 0 {
+				continue
+			}
+			if pm < mCut {
+				dropped += pm
+				continue
+			}
+			balls := ell - m
+			switch {
+			case balls == 0:
+				r[j] += pm // winProb's ball-free strict win
+			case m == 0:
+				// The rival holds ≥ 1 balls: a sure loss.
+			case 1 < stateCut:
+				// The DP's unit root state falls below the cut; the
+				// general path prunes the whole conditional mass.
+				dropped += pm
+			case balls > m:
+				// The rival's forced count beats m: a loss, not
+				// truncation.
+			case balls == m:
+				r[j] += pm * 0.5 // two-way tie, broken u.a.r.
+			default:
+				r[j] += pm // strict win
+			}
+		}
+	}
+	return r, dropped
+}
+
 // majorityDP holds the scratch buffers of the rival-profile scan so
 // one phase's O(k·window) winProb calls do not allocate.
 type majorityDP struct {
@@ -133,13 +247,18 @@ type majorityDP struct {
 	pmf []float64 // per-(state,rival) binomial row
 }
 
-func newMajorityDP(k, ell int) *majorityDP {
-	return &majorityDP{
-		k:   k,
-		ell: ell,
-		f:   make([]float64, (ell+1)*k),
-		g:   make([]float64, (ell+1)*k),
-		pmf: make([]float64, ell+1),
+// ensure sizes the scratch for a (k, ℓ) evaluation, growing (never
+// shrinking) the backing arrays so an evaluator amortizes to zero
+// allocations. Stale buffer contents are harmless: winProb zeroes the
+// layers it reads and binomRow's window is fully rewritten before use.
+func (dp *majorityDP) ensure(k, ell int) {
+	dp.k, dp.ell = k, ell
+	if need := (ell + 1) * k; len(dp.f) < need {
+		dp.f = make([]float64, need)
+		dp.g = make([]float64, need)
+	}
+	if len(dp.pmf) < ell+1 {
+		dp.pmf = make([]float64, ell+1)
 	}
 }
 

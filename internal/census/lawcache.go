@@ -1,0 +1,136 @@
+package census
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+	"sync/atomic"
+)
+
+// MinLawQuant is the smallest accepted non-zero quantization step η.
+// Below it the lattice indices would leave the exactly representable
+// float64 integer range (and the quantization would be finer than the
+// default truncation tolerance ever warrants); SetLawQuant rejects
+// (0, MinLawQuant) rather than quantizing meaninglessly.
+const MinLawQuant = 1e-12
+
+// maxLawCacheEntries caps a cache's entry count. The lattice keeps the
+// set of distinct visited q̂ small in practice (a bisection hammers one
+// ε neighborhood), but a pathological sweep could still visit many
+// lattice points; past the cap the cache stops storing — results never
+// depend on cache contents, so the cap affects only cost.
+const maxLawCacheEntries = 1 << 20
+
+// lawEntry is one memoized Stage-2 law: the renormalized adoption
+// distribution evaluated at a lattice point q̂ and the truncation mass
+// that evaluation dropped. Entries are immutable once stored.
+type lawEntry struct {
+	r       []float64
+	dropped float64
+}
+
+// LawCache memoizes quantized Stage-2 majority-law evaluations across
+// engines. The key is (q̂ lattice indices, ℓ, tol) and the stored law
+// is a pure function of the key — never of cache state, evaluation
+// order or the engine that computed it — so sharing one cache across
+// trials, sweep points and worker goroutines is sound and keeps runs
+// bit-identical at any worker count. Safe for concurrent use.
+type LawCache struct {
+	mu      sync.Mutex
+	entries map[string]lawEntry
+	hits    atomic.Int64
+	misses  atomic.Int64
+}
+
+// NewLawCache returns an empty cache ready for sharing.
+func NewLawCache() *LawCache {
+	return &LawCache{entries: make(map[string]lawEntry)}
+}
+
+// lookup returns the entry for key, counting the probe as a hit or a
+// miss. key is raw bytes: the map index uses the compiler's
+// alloc-free string(key) lookup form, so the ~96%-hit hot path never
+// materializes a string.
+func (c *LawCache) lookup(key []byte) (lawEntry, bool) {
+	c.mu.Lock()
+	ent, ok := c.entries[string(key)]
+	c.mu.Unlock()
+	if ok {
+		c.hits.Add(1)
+	} else {
+		c.misses.Add(1)
+	}
+	return ent, ok
+}
+
+// store records an evaluated law under key, copying r and the key
+// bytes (callers reuse both buffers). Past maxLawCacheEntries new
+// entries are dropped.
+func (c *LawCache) store(key []byte, r []float64, dropped float64) {
+	cp := append([]float64(nil), r...)
+	c.mu.Lock()
+	if len(c.entries) < maxLawCacheEntries {
+		c.entries[string(key)] = lawEntry{r: cp, dropped: dropped}
+	}
+	c.mu.Unlock()
+}
+
+// Stats returns the cache's lifetime lookup counts.
+func (c *LawCache) Stats() (hits, misses int64) {
+	return c.hits.Load(), c.misses.Load()
+}
+
+// HitRate returns hits/(hits+misses), or 0 before the first lookup.
+func (c *LawCache) HitRate() float64 {
+	h, m := c.Stats()
+	if h+m == 0 {
+		return 0
+	}
+	return float64(h) / float64(h+m)
+}
+
+// Len returns the number of stored laws.
+func (c *LawCache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}
+
+// quantizeQ rounds the pool distribution q onto the deterministic
+// η-lattice and renormalizes: with m_j = round(q_j/η), the quantized
+// point is q̂_j = m_j/Σm — a pure function of (q, η), independent of
+// cache state or evaluation order. It writes q̂ into qhat, the lattice
+// indices into idx, and returns d_TV(q, q̂) = ½·Σ|q_j − q̂_j|, the
+// per-draw coupling distance the engine charges ℓ·n times per phase.
+// ok is false when every index rounds to zero (η too coarse for this
+// pool point); callers then fall back to the exact law.
+func quantizeQ(q []float64, eta float64, qhat []float64, idx []int64) (dtv float64, ok bool) {
+	var sum int64
+	for j, p := range q {
+		m := int64(math.Round(p / eta))
+		idx[j] = m
+		sum += m
+	}
+	if sum <= 0 {
+		return 0, false
+	}
+	total := float64(sum)
+	for j, m := range idx {
+		qhat[j] = float64(m) / total
+		dtv += math.Abs(q[j] - qhat[j])
+	}
+	return dtv / 2, true
+}
+
+// lawKey serializes (idx, ℓ, tol) into buf as a cache key. Varint
+// encoding is self-delimiting, so distinct (k, ℓ, tol, lattice)
+// tuples never collide.
+func lawKey(buf []byte, idx []int64, ell int, tol float64) []byte {
+	buf = buf[:0]
+	buf = binary.AppendUvarint(buf, uint64(ell))
+	buf = binary.AppendUvarint(buf, math.Float64bits(tol))
+	for _, m := range idx {
+		buf = binary.AppendUvarint(buf, uint64(m))
+	}
+	return buf
+}

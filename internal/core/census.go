@@ -37,8 +37,40 @@ type CensusResult struct {
 // initial[i] nodes start with opinion i and the remaining
 // n − Σinitial start undecided. The run is a pure function of r's
 // seed; draws happen in the fixed serial order documented in the
-// census package.
+// census package. Hot loops that execute many runs should hold a
+// CensusRunner instead, which reuses one engine across calls.
 func RunCensus(n int64, nm *noise.Matrix, params Params, initial []int64,
+	correct model.Opinion, trace bool, r *rng.Rand) (CensusResult, error) {
+
+	return new(CensusRunner).Run(n, nm, params, initial, correct, trace, r)
+}
+
+// CensusRunner executes census-engine protocol runs while reusing one
+// engine — its buffers, its law evaluator and its Stage-2 law cache —
+// across calls. This is the allocation-free path of the sweep hot
+// loop: a worker holds one runner for its whole lifetime and runs
+// every trial of every grid point through it. Not safe for concurrent
+// use; each worker owns its runner. The zero value is ready; a shared
+// law cache (one per sweep, say) can be injected with NewCensusRunner.
+//
+// Reuse does not change results: a runner's Run is bit-identical to a
+// fresh RunCensus with the same arguments and stream (the engine's
+// Reset contract), which is what keeps sweeps worker-count invariant.
+type CensusRunner struct {
+	eng   *census.Engine
+	cache *census.LawCache
+}
+
+// NewCensusRunner returns a runner whose engine draws quantized
+// Stage-2 laws from the shared cache (nil means a private cache).
+func NewCensusRunner(cache *census.LawCache) *CensusRunner {
+	return &CensusRunner{cache: cache}
+}
+
+// Run is RunCensus on the runner's reused engine. The protocol knobs
+// (tolerance, quantization) are re-applied from params on every call,
+// so a runner can serve runs with differing parameters back to back.
+func (cr *CensusRunner) Run(n int64, nm *noise.Matrix, params Params, initial []int64,
 	correct model.Opinion, trace bool, r *rng.Rand) (CensusResult, error) {
 
 	if nm == nil {
@@ -51,11 +83,31 @@ func RunCensus(n int64, nm *noise.Matrix, params Params, initial []int64,
 	if err != nil {
 		return CensusResult{}, err
 	}
-	eng, err := census.New(n, nm, r)
-	if err != nil {
+	var eng *census.Engine
+	if cr.eng == nil {
+		eng, err = census.New(n, nm, r)
+		if err != nil {
+			return CensusResult{}, err
+		}
+		eng.SetCache(cr.cache)
+		if err := eng.Init(initial); err != nil {
+			return CensusResult{}, err
+		}
+		cr.eng = eng
+	} else {
+		eng = cr.eng
+		if err := eng.Reset(n, nm, r, initial); err != nil {
+			return CensusResult{}, err
+		}
+	}
+	tol := census.DefaultTolerance
+	if params.CensusTol > 0 {
+		tol = params.CensusTol
+	}
+	if err := eng.SetTolerance(tol); err != nil {
 		return CensusResult{}, err
 	}
-	if err := eng.Init(initial); err != nil {
+	if err := eng.SetLawQuant(params.LawQuant); err != nil {
 		return CensusResult{}, err
 	}
 

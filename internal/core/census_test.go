@@ -105,6 +105,104 @@ func TestScheduleInt64(t *testing.T) {
 	}
 }
 
+// TestCensusRunnerReuseBitIdentical: a CensusRunner serving many runs
+// — across populations, channels and knob settings — must reproduce
+// the exact result of a fresh RunCensus per run. This is the contract
+// the sweep hot loop's worker-count determinism rests on.
+func TestCensusRunnerReuseBitIdentical(t *testing.T) {
+	nm3, err := noise.Uniform(3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	nm2, err := noise.FHKBinary(0.2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant := DefaultParams(0.25)
+	quant.LawQuant = 1e-3
+	tight := DefaultParams(0.25)
+	tight.CensusTol = 1e-9
+	cases := []struct {
+		n      int64
+		nm     *noise.Matrix
+		params Params
+		counts []int64
+		seed   uint64
+	}{
+		{200_000, nm3, DefaultParams(0.25), []int64{80_000, 60_000, 40_000}, 5},
+		{1_000_000, nm2, DefaultParams(0.2), []int64{520_000, 480_000}, 6},
+		{200_000, nm3, quant, []int64{80_000, 60_000, 40_000}, 7},
+		{200_000, nm3, tight, []int64{80_000, 60_000, 40_000}, 8},
+		// Same spec as the first case again: the runner must have fully
+		// shed the quant/tol settings of the runs in between.
+		{200_000, nm3, DefaultParams(0.25), []int64{80_000, 60_000, 40_000}, 5},
+	}
+	runner := new(CensusRunner)
+	for i, c := range cases {
+		want, err := RunCensus(c.n, c.nm, c.params, c.counts, 0, true, rng.New(c.seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := runner.Run(c.n, c.nm, c.params, c.counts, 0, true, rng.New(c.seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("case %d: reused runner diverged from fresh run:\n%+v\nvs\n%+v", i, got, want)
+		}
+	}
+}
+
+// TestParamsCensusKnobValidation: the new census knobs share the
+// Validate surface of every other protocol constant.
+func TestParamsCensusKnobValidation(t *testing.T) {
+	for _, bad := range []Params{
+		func() Params { p := DefaultParams(0.25); p.LawQuant = -1e-3; return p }(),
+		func() Params { p := DefaultParams(0.25); p.LawQuant = 1; return p }(),
+		func() Params { p := DefaultParams(0.25); p.LawQuant = 1e-15; return p }(),
+		func() Params { p := DefaultParams(0.25); p.CensusTol = -1e-9; return p }(),
+		func() Params { p := DefaultParams(0.25); p.CensusTol = 1; return p }(),
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("Validate accepted LawQuant=%v CensusTol=%v", bad.LawQuant, bad.CensusTol)
+		}
+	}
+	good := DefaultParams(0.25)
+	good.LawQuant = 1e-3
+	good.CensusTol = 1e-9
+	if err := good.Validate(); err != nil {
+		t.Errorf("Validate rejected sensible census knobs: %v", err)
+	}
+}
+
+// TestRunCensusQuantBudget: a quantized run reports a strictly larger
+// Lemma-3 budget than the exact run (the n·ℓ·d_TV coupling mass) while
+// still reaching the same verdict on a comfortably biased start.
+func TestRunCensusQuantBudget(t *testing.T) {
+	nm, err := noise.Uniform(3, 0.25)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := []int64{400_000, 320_000, 280_000}
+	exactP := DefaultParams(0.25)
+	quantP := exactP
+	quantP.LawQuant = 1e-3
+	exact, err := RunCensus(1_000_000, nm, exactP, counts, 0, false, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	quant, err := RunCensus(1_000_000, nm, quantP, counts, 0, false, rng.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quant.ErrorBudget <= exact.ErrorBudget {
+		t.Fatalf("quantized budget %v not above exact budget %v", quant.ErrorBudget, exact.ErrorBudget)
+	}
+	if !quant.Correct || !exact.Correct {
+		t.Fatalf("biased start failed: exact %v, quantized %v", exact.Correct, quant.Correct)
+	}
+}
+
 // TestRunCensusValidation: bad inputs error instead of panicking.
 func TestRunCensusValidation(t *testing.T) {
 	nm, err := noise.Uniform(3, 0.25)

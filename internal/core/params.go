@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/gossipkit/noisyrumor/internal/census"
 	"github.com/gossipkit/noisyrumor/internal/model"
 )
 
@@ -74,6 +75,17 @@ type Params struct {
 	// reproducible regardless of scheduling, but different thread
 	// counts consume the random stream differently.
 	Threads int
+	// LawQuant is the census engine's Stage-2 law quantization step η
+	// (census.Engine.SetLawQuant): the pool distribution is rounded
+	// onto the η-lattice, the majority law memoized by lattice point,
+	// and the coupling bound n·ℓ·d_TV(q, q̂) charged per phase into
+	// the run's ErrorBudget. 0 (the default) is exact — bit-identical
+	// to an engine without the knob. Per-node engines ignore it.
+	LawQuant float64
+	// CensusTol overrides the census engine's per-phase Stage-2
+	// truncation tolerance (census.Engine.SetTolerance); 0 keeps
+	// census.DefaultTolerance. Per-node engines ignore it.
+	CensusTol float64
 }
 
 // DefaultParams returns the documented default constants for a given
@@ -117,6 +129,14 @@ func (p Params) Validate() error {
 	}
 	if p.Threads < 0 {
 		return fmt.Errorf("core: Threads must be ≥ 0, got %d", p.Threads)
+	}
+	if math.IsNaN(p.LawQuant) || p.LawQuant < 0 || p.LawQuant >= 1 ||
+		(p.LawQuant > 0 && p.LawQuant < census.MinLawQuant) {
+		return fmt.Errorf("core: LawQuant must be 0 (exact) or in [%g, 1), got %v",
+			census.MinLawQuant, p.LawQuant)
+	}
+	if math.IsNaN(p.CensusTol) || p.CensusTol < 0 || p.CensusTol >= 1 {
+		return fmt.Errorf("core: CensusTol must be 0 (default) or in (0, 1), got %v", p.CensusTol)
 	}
 	return nil
 }

@@ -55,6 +55,8 @@ func RunE21(cfg Config) (*Report, error) {
 			Ns:         []int64{n},
 			ProtoEps:   protoEps,
 			Trials:     trials,
+			LawQuant:   cfg.LawQuant,
+			CensusTol:  cfg.CensusTol,
 		}
 		// A distinct seed per matrix family: with a shared seed, cell i
 		// of both heatmaps would draw bit-identical trial streams and
@@ -105,15 +107,17 @@ func RunE21(cfg Config) (*Report, error) {
 	// Part 2: the calibrated threshold bisection (see
 	// sweep/bisect_test.go for the calibration evidence).
 	b := sweep.Bisect{
-		Matrix:   "binary",
-		K:        2,
-		N:        100_000,
-		Delta:    0.02,
-		ProtoEps: 0.4,
-		Lo:       0.1,
-		Hi:       0.3,
-		Tol:      pick(cfg, 0.005, 0.02),
-		Trials:   pick(cfg, 400, 80),
+		Matrix:    "binary",
+		K:         2,
+		N:         100_000,
+		Delta:     0.02,
+		ProtoEps:  0.4,
+		Lo:        0.1,
+		Hi:        0.3,
+		Tol:       pick(cfg, 0.005, 0.02),
+		Trials:    pick(cfg, 400, 80),
+		LawQuant:  cfg.LawQuant,
+		CensusTol: cfg.CensusTol,
 	}
 	bres, err := sweep.Runner{Seed: cfg.Seed + 2150, Workers: cfg.Workers}.RunBisect(b)
 	if err != nil {
@@ -140,9 +144,21 @@ func RunE21(cfg Config) (*Report, error) {
 		fmt.Sprintf("critical ε*(2, binary) = %.4f with critical band [%.4f, %.4f] after %d evaluations; LP majority-preservation boundary ε_proto/2 = %.4f contained: %v",
 			bres.Critical, bres.BandLo, bres.BandHi, len(bres.Evals),
 			lpb, map[bool]string{true: "PASS", false: "FAIL"}[contained]),
-		fmt.Sprintf("accumulated Lemma-3 truncation budget of the bisection: %.2e (≪ 1; every estimate above is exact process P up to this mass)",
-			bres.ErrorBudget))
+		fmt.Sprintf("accumulated Lemma-3 truncation budget of the bisection: %.2e (%s)",
+			bres.ErrorBudget, budgetNote(bres.ErrorBudget)))
 	return rep, nil
+}
+
+// budgetNote annotates an accumulated Lemma-3 budget honestly: below
+// 1 it is a real union-bound certificate; at or above 1 (routine once
+// the quantization coupling mass n·ℓ·d_TV is charged at census-scale
+// n) it is a vacuous worst-case bound and the band checks are the
+// evidence.
+func budgetNote(budget float64) string {
+	if budget < 1 {
+		return "≪ 1; every estimate above is exact process P up to this mass"
+	}
+	return "≥ 1: the worst-case quantization coupling bound is vacuous as a certificate here; the band checks above are the empirical accuracy evidence (see DESIGN §2)"
 }
 
 // RunE22 measures T(n), the rounds until all nodes hold the correct
@@ -161,6 +177,8 @@ func RunE22(cfg Config) (*Report, error) {
 		Delta:      0, // rumor spreading: Stage 1 does the spreading
 		Ns:         sweep.Decades(pick(cfg, 3, 3), pick(cfg, 12, 6)),
 		Trials:     pick(cfg, 12, 6),
+		LawQuant:   cfg.LawQuant,
+		CensusTol:  cfg.CensusTol,
 	}
 	rep := &Report{
 		ID:    "E22",
@@ -185,7 +203,7 @@ func RunE22(cfg Config) (*Report, error) {
 	rep.Findings = append(rep.Findings,
 		fmt.Sprintf("T(n) = %.1f + %.1f·ln n (R²=%.4f, RMSE %.1f rounds): linear in log n as Theorems 1–2 require; slope·ε² = %.2f",
 			res.Fit.Intercept, res.Fit.Slope, res.Fit.R2, res.Fit.RMSE, res.Fit.Slope*eps*eps),
-		fmt.Sprintf("accumulated Lemma-3 truncation budget across all %d trials: %.2e (< 1, dominated by the largest-n points — the budget scales with n·tolerance, and the per-point mass is attached above)",
-			s.Trials*len(s.Ns), res.ErrorBudget))
+		fmt.Sprintf("accumulated Lemma-3 truncation budget across all %d trials: %.2e (%s; dominated by the largest-n points — the budget scales with n, and the per-point mass is attached above)",
+			s.Trials*len(s.Ns), res.ErrorBudget, budgetNote(res.ErrorBudget)))
 	return rep, nil
 }

@@ -1,6 +1,9 @@
 package sim
 
-import "testing"
+import (
+	"strings"
+	"testing"
+)
 
 // TestExperimentGoldenAcrossWorkerCounts is the determinism contract
 // end to end: a full experiment's rendered report must be bitwise
@@ -62,6 +65,65 @@ func TestSweepExperimentsGoldenAcrossWorkerCounts(t *testing.T) {
 			t.Errorf("%s report differs between Workers=1 and Workers=8:\n--- 1 worker ---\n%s\n--- 8 workers ---\n%s",
 				id, one, eight)
 		}
+	}
+}
+
+// TestSweepExperimentsQuantGoldenAcrossWorkerCounts: the quantized
+// determinism contract end to end — with the Stage-2 law cache on
+// (η = 10⁻³), E21's grids-plus-bisection and E22's scaling fan must
+// still render bitwise identically at 1 and 8 workers, because cached
+// laws are pure functions of their lattice key and never of cache
+// state or scheduling.
+func TestSweepExperimentsQuantGoldenAcrossWorkerCounts(t *testing.T) {
+	for _, id := range []string{"E21", "E22"} {
+		e, ok := ByID(id)
+		if !ok {
+			t.Fatalf("%s not registered", id)
+		}
+		run := func(workers int) string {
+			rep, err := e.Run(Config{Seed: 42, Quick: true, Workers: workers, LawQuant: 1e-3})
+			if err != nil {
+				t.Fatal(err)
+			}
+			return rep.Text()
+		}
+		if one, eight := run(1), run(8); one != eight {
+			t.Errorf("%s quantized report differs between Workers=1 and Workers=8:\n--- 1 worker ---\n%s\n--- 8 workers ---\n%s",
+				id, one, eight)
+		}
+	}
+}
+
+// TestSweepExperimentsQuantStayInBands: with quantization on, E21's
+// containment checks (every LP-certified cell succeeds; the LP
+// boundary inside the critical band) and E22's log-law fit must still
+// PASS — the approximation moves each estimate by at most the budget
+// it reports, which stays ≪ 1 at η = 10⁻³ — and the quantized reports
+// must carry a budget at least as large as the exact ones.
+func TestSweepExperimentsQuantStayInBands(t *testing.T) {
+	e21, ok := ByID("E21")
+	if !ok {
+		t.Fatal("E21 not registered")
+	}
+	rep, err := e21.Run(Config{Seed: 42, Quick: true, Workers: 4, LawQuant: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, f := range rep.Findings[:2] {
+		if !strings.Contains(f, "PASS") {
+			t.Errorf("E21 finding failed under quantization: %s", f)
+		}
+	}
+	e22, ok := ByID("E22")
+	if !ok {
+		t.Fatal("E22 not registered")
+	}
+	rep22, err := e22.Run(Config{Seed: 42, Quick: true, Workers: 4, LawQuant: 1e-3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(rep22.Findings[0], "linear in log n") {
+		t.Errorf("E22 finding missing the log-law verdict under quantization: %s", rep22.Findings[0])
 	}
 }
 

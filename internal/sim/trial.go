@@ -39,6 +39,12 @@ func runProtocol(cfg Config, r *rng.Rand, n int, nm *noise.Matrix, params core.P
 		return outcome{err: err}
 	}
 	if proc == model.ProcessCensus {
+		if params.LawQuant == 0 {
+			params.LawQuant = cfg.LawQuant
+		}
+		if params.CensusTol == 0 {
+			params.CensusTol = cfg.CensusTol
+		}
 		return runCensusProtocol(r, int64(n), nm, params, initial, correct, trace)
 	}
 	eng, err := model.NewEngine(n, nm, proc, r)

@@ -1,14 +1,16 @@
 package sweep
 
-import "testing"
+import (
+	"testing"
 
-// BenchmarkSweepGridPoints is the sweep-throughput headline recorded
-// in BENCH_<n>.json: a 12-point census-engine grid (binary + uniform,
-// 2 ε × 3 δ at n = 10⁵, 25 trials per point) straddling the success
-// threshold, with the custom points/s metric benchjson derives the
-// throughput number from.
-func BenchmarkSweepGridPoints(b *testing.B) {
-	g := Grid{
+	"github.com/gossipkit/noisyrumor/internal/census"
+)
+
+// benchGrid is the 12-point threshold-straddling grid of the sweep
+// throughput headline: binary + uniform, 2 ε × 3 δ at n = 10⁵, 25
+// trials per point, quantized at eta (0 = exact).
+func benchGrid(eta float64) Grid {
+	return Grid{
 		Matrices:   []string{"binary", "uniform"},
 		Ks:         []int{2},
 		ChannelEps: []float64{0.18, 0.3},
@@ -16,7 +18,15 @@ func BenchmarkSweepGridPoints(b *testing.B) {
 		Ns:         []int64{100_000},
 		ProtoEps:   0.4,
 		Trials:     25,
+		LawQuant:   eta,
 	}
+}
+
+// BenchmarkSweepGridPoints is the sweep-throughput headline recorded
+// in BENCH_<n>.json: the exact-law grid, with the custom points/s
+// metric benchjson derives the throughput number from.
+func BenchmarkSweepGridPoints(b *testing.B) {
+	g := benchGrid(0)
 	pts, err := g.Points()
 	if err != nil {
 		b.Fatal(err)
@@ -32,6 +42,33 @@ func BenchmarkSweepGridPoints(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(len(pts))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkSweepGridPointsQuant is the same grid under the η = 10⁻³
+// law cache — the Stage-2 fast path of the whole stack: one shared
+// cache serves every trial of every point, and the per-worker engines
+// are reused across trials. Reports points/s plus the realized cache
+// hit rate (hit%), from which benchjson derives the quantized
+// throughput and law_cache_hit_rate metrics.
+func BenchmarkSweepGridPointsQuant(b *testing.B) {
+	g := benchGrid(1e-3)
+	pts, err := g.Points()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cache := census.NewLawCache()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Runner{Seed: uint64(i + 1), Cache: cache}.RunGrid(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) != len(pts) {
+			b.Fatal("short grid")
+		}
+	}
+	b.ReportMetric(float64(len(pts))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+	b.ReportMetric(cache.HitRate()*100, "hit%")
 }
 
 // BenchmarkSweepBisect tracks the cost of a full Wilson-stopped

@@ -38,6 +38,15 @@ type Bisect struct {
 	Batch  int `json:"batch,omitempty"`
 	// MaxEvals caps the number of evaluations (0 = 40).
 	MaxEvals int `json:"max_evals,omitempty"`
+	// LawQuant is the census engine's Stage-2 law quantization step η
+	// (0 = exact; see core.Params.LawQuant). Bisections profit most
+	// from it: every evaluation hammers the same ε neighborhood, so
+	// the shared law cache converts near-identical law evaluations
+	// into lookups.
+	LawQuant float64 `json:"law_quant,omitempty"`
+	// CensusTol overrides the census engine's truncation tolerance
+	// (0 = default; see core.Params.CensusTol).
+	CensusTol float64 `json:"census_tol,omitempty"`
 }
 
 // BisectEval is one evaluated channel ε.
@@ -106,7 +115,7 @@ func (b Bisect) point(idx int, eps float64) Point {
 		N:          b.N,
 		Engine:     b.Engine,
 		Trials:     b.Trials,
-		Params:     defaultPointParams(b.ProtoEps, b.C),
+		Params:     defaultPointParams(b.ProtoEps, b.C, b.LawQuant, b.CensusTol),
 	}
 }
 
@@ -129,12 +138,13 @@ func (r Runner) RunBisect(b Bisect) (*BisectResult, error) {
 		return nil, err
 	}
 	res := &BisectResult{BandLo: math.Inf(1), BandHi: math.Inf(-1)}
+	runners := r.newTrialRunners(r.workers())
 	eval := func(eps float64) (BisectEval, error) {
 		idx := len(res.Evals)
 		pr, ok := ck.get(idx)
 		if !ok {
 			var err error
-			pr, err = r.evalPointAdaptive(b.point(idx, eps), b.Batch)
+			pr, err = r.evalPointAdaptive(b.point(idx, eps), b.Batch, runners)
 			if err != nil {
 				return BisectEval{}, err
 			}

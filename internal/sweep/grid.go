@@ -32,6 +32,13 @@ type Grid struct {
 	// Engine selects the trial engine for every point (see
 	// Point.Engine).
 	Engine string `json:"engine,omitempty"`
+	// LawQuant is the census engine's Stage-2 law quantization step η
+	// for every point (0 = exact; see core.Params.LawQuant). Part of
+	// the checkpoint identity.
+	LawQuant float64 `json:"law_quant,omitempty"`
+	// CensusTol overrides the census engine's truncation tolerance
+	// for every point (0 = default; see core.Params.CensusTol).
+	CensusTol float64 `json:"census_tol,omitempty"`
 }
 
 // GridResult is an evaluated grid, points in enumeration order.
@@ -67,7 +74,7 @@ func (g Grid) Points() ([]Point, error) {
 							if proto == 0 {
 								proto = eps
 							}
-							params := defaultPointParams(proto, c)
+							params := defaultPointParams(proto, c, g.LawQuant, g.CensusTol)
 							pts = append(pts, Point{
 								Index:      len(pts),
 								Matrix:     m,
@@ -103,10 +110,11 @@ func (r Runner) RunGrid(g Grid) (*GridResult, error) {
 		return nil, err
 	}
 	res := &GridResult{Points: make([]PointResult, len(pts))}
+	runners := r.newTrialRunners(r.workers())
 	for i, p := range pts {
 		pr, ok := ck.get(p.Index)
 		if !ok {
-			pr, err = r.evalPoint(p)
+			pr, err = r.evalPoint(p, runners)
 			if err != nil {
 				return nil, err
 			}

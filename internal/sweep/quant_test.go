@@ -1,0 +1,130 @@
+package sweep
+
+import (
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/census"
+)
+
+// quantGrid is a small threshold-straddling grid with the law cache
+// on, shared by the quantization tests.
+func quantGrid(eta float64) Grid {
+	return Grid{
+		Matrices:   []string{"binary", "uniform"},
+		Ks:         []int{2},
+		ChannelEps: []float64{0.18, 0.3},
+		Deltas:     []float64{0.1, 0.3},
+		Ns:         []int64{20_000},
+		ProtoEps:   0.4,
+		Trials:     6,
+		LawQuant:   eta,
+	}
+}
+
+// TestGridQuantGoldenAcrossWorkerCounts is the quantized determinism
+// contract: with the law cache on (shared across all workers), a grid
+// must be bit-identical at 1 and 8 workers — cached laws are pure
+// functions of their key, so cache state never leaks into results.
+func TestGridQuantGoldenAcrossWorkerCounts(t *testing.T) {
+	g := quantGrid(1e-3)
+	run := func(workers int) *GridResult {
+		res, err := Runner{Seed: 9, Workers: workers}.RunGrid(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one, eight := run(1), run(8)
+	if !reflect.DeepEqual(one, eight) {
+		t.Fatalf("quantized grid differs between 1 and 8 workers:\n%+v\nvs\n%+v", one, eight)
+	}
+}
+
+// TestBisectQuantGoldenAcrossWorkerCounts extends the contract to the
+// adaptive mode (Wilson early stopping included), where the cache is
+// hottest — every evaluation hammers one ε neighborhood.
+func TestBisectQuantGoldenAcrossWorkerCounts(t *testing.T) {
+	b := Bisect{
+		Matrix: "binary", K: 2, N: 20_000, Delta: 0.02,
+		ProtoEps: 0.4, Lo: 0.1, Hi: 0.3, Tol: 0.02, Trials: 40,
+		LawQuant: 1e-3,
+	}
+	run := func(workers int) *BisectResult {
+		res, err := Runner{Seed: 4, Workers: workers}.RunBisect(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	one, eight := run(1), run(8)
+	if !reflect.DeepEqual(one, eight) {
+		t.Fatalf("quantized bisect differs between 1 and 8 workers:\n%+v\nvs\n%+v", one, eight)
+	}
+}
+
+// TestGridQuantBudgetAndCache: quantization must (1) report a larger
+// per-sweep budget than the exact grid — the n·ℓ·d_TV coupling mass
+// travels with the estimates — (2) actually hit the shared cache, and
+// (3) leave η = 0 grids bit-identical to grids that never knew the
+// knob (the flag-off compatibility guarantee).
+func TestGridQuantBudgetAndCache(t *testing.T) {
+	exact, err := Runner{Seed: 9, Workers: 2}.RunGrid(quantGrid(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := census.NewLawCache()
+	quant, err := Runner{Seed: 9, Workers: 2, Cache: cache}.RunGrid(quantGrid(1e-3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if quant.ErrorBudget <= exact.ErrorBudget {
+		t.Fatalf("quantized sweep budget %v not above exact %v", quant.ErrorBudget, exact.ErrorBudget)
+	}
+	hits, misses := cache.Stats()
+	if hits == 0 || misses == 0 {
+		t.Fatalf("shared cache saw (hits, misses) = (%d, %d); the sweep is not wired through it", hits, misses)
+	}
+	if rate := cache.HitRate(); rate < 0.5 {
+		t.Errorf("law-cache hit rate %.2f below 0.5 on a threshold-straddling grid; memoization is not paying", rate)
+	}
+	// Per-point budgets must also carry the extra mass.
+	for i := range quant.Points {
+		if quant.Points[i].ErrorBudget < exact.Points[i].ErrorBudget {
+			t.Fatalf("point %d: quantized budget %v below exact %v",
+				i, quant.Points[i].ErrorBudget, exact.Points[i].ErrorBudget)
+		}
+	}
+
+	// η = 0 must reproduce a knob-free grid exactly.
+	plain := quantGrid(0)
+	plain.LawQuant = 0
+	again, err := Runner{Seed: 9, Workers: 2}.RunGrid(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(exact, again) {
+		t.Fatal("η = 0 grid is not bit-identical to the knob-free grid")
+	}
+}
+
+// TestCheckpointRejectsQuantMismatch: LawQuant is part of the sweep
+// identity — a checkpoint written at one η must not resume a sweep at
+// another (the stored results would silently carry the wrong budget).
+func TestCheckpointRejectsQuantMismatch(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ck.json")
+	g := quantGrid(1e-3)
+	if _, err := (Runner{Seed: 9, Workers: 2, Checkpoint: path}).RunGrid(g); err != nil {
+		t.Fatal(err)
+	}
+	other := g
+	other.LawQuant = 1e-2
+	if _, err := (Runner{Seed: 9, Workers: 2, Checkpoint: path}).RunGrid(other); err == nil {
+		t.Fatal("checkpoint from a different LawQuant accepted")
+	}
+	// The matching spec must still resume.
+	if _, err := (Runner{Seed: 9, Workers: 2, Checkpoint: path}).RunGrid(g); err != nil {
+		t.Fatalf("matching spec failed to resume: %v", err)
+	}
+}

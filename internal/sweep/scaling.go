@@ -26,6 +26,12 @@ type Scaling struct {
 	Ns []int64 `json:"ns"`
 	// Trials is the per-point trial budget.
 	Trials int `json:"trials"`
+	// LawQuant is the census engine's Stage-2 law quantization step η
+	// (0 = exact; see core.Params.LawQuant).
+	LawQuant float64 `json:"law_quant,omitempty"`
+	// CensusTol overrides the census engine's truncation tolerance
+	// (0 = default; see core.Params.CensusTol).
+	CensusTol float64 `json:"census_tol,omitempty"`
 }
 
 // ScalingResult is the measured T(n) curve and its log-law fit.
@@ -58,6 +64,7 @@ func (r Runner) RunScaling(s Scaling) (*ScalingResult, error) {
 		return nil, err
 	}
 	res := &ScalingResult{Points: make([]PointResult, len(s.Ns))}
+	runners := r.newTrialRunners(r.workers())
 	x := make([]float64, len(s.Ns))
 	y := make([]float64, len(s.Ns))
 	for i, n := range s.Ns {
@@ -70,11 +77,11 @@ func (r Runner) RunScaling(s Scaling) (*ScalingResult, error) {
 			N:          n,
 			Engine:     s.Engine,
 			Trials:     s.Trials,
-			Params:     defaultPointParams(proto, 0),
+			Params:     defaultPointParams(proto, 0, s.LawQuant, s.CensusTol),
 		}
 		pr, ok := ck.get(i)
 		if !ok {
-			pr, err = r.evalPoint(p)
+			pr, err = r.evalPoint(p, runners)
 			if err != nil {
 				return nil, err
 			}

@@ -32,7 +32,15 @@
 // bound on the probability that any trial of that point diverged from
 // an exact process-P run, in the additive-probability currency of the
 // paper's Lemma 3. Estimates and their approximation mass travel
-// together.
+// together. With a non-zero LawQuant the budget additionally carries
+// each phase's n·ℓ·d_TV quantization coupling mass (DESIGN.md §2).
+//
+// Hot loop: each worker goroutine owns one core.CensusRunner whose
+// census engine is reused (Reset, not re-New) across every trial of
+// every point, and all workers share one Stage-2 law cache
+// (Runner.Cache, or a per-sweep private one) — reuse is invisible in
+// results by the engine's Reset contract, so the determinism
+// guarantees above survive unchanged.
 package sweep
 
 import (
@@ -40,6 +48,7 @@ import (
 	"runtime"
 	"sync"
 
+	"github.com/gossipkit/noisyrumor/internal/census"
 	"github.com/gossipkit/noisyrumor/internal/core"
 	"github.com/gossipkit/noisyrumor/internal/model"
 	"github.com/gossipkit/noisyrumor/internal/noise"
@@ -120,6 +129,12 @@ type Runner struct {
 	// completed point; an existing compatible file resumes the sweep
 	// (same spec and seed required), a mismatched one is an error.
 	Checkpoint string
+	// Cache, when non-nil, is the Stage-2 law cache every quantized
+	// census trial of the sweep draws from; nil gives each sweep a
+	// private cache. Sharing one cache across sweeps is sound and
+	// deterministic — entries are pure functions of their (q̂, ℓ, tol)
+	// key — and lets callers read aggregate hit statistics.
+	Cache *census.LawCache
 }
 
 func (r Runner) workers() int {
@@ -138,13 +153,35 @@ func (r Runner) z() float64 {
 
 // defaultPointParams derives a point's protocol constants: the
 // documented defaults for the assumed ε, with the Stage-2 constant c
-// overridden when non-zero (the ℓ axis of a grid).
-func defaultPointParams(protoEps, c float64) core.Params {
+// overridden when non-zero (the ℓ axis of a grid) and the census
+// engine's law-quantization and truncation-tolerance knobs carried
+// through (0 = exact / default; see core.Params).
+func defaultPointParams(protoEps, c, lawQuant, censusTol float64) core.Params {
 	params := core.DefaultParams(protoEps)
 	if c > 0 {
 		params.C = c
 	}
+	params.LawQuant = lawQuant
+	params.CensusTol = censusTol
 	return params
+}
+
+// newTrialRunners builds one reusable census runner per worker, all
+// sharing one law cache: the allocation-free hot path of the sweep —
+// a worker's engine (buffers, evaluator) persists across every trial
+// of every point it executes, and quantized law evaluations are
+// shared across workers. Reuse is invisible in results (the engine
+// Reset contract), so worker-count determinism is preserved.
+func (r Runner) newTrialRunners(workers int) []*core.CensusRunner {
+	cache := r.Cache
+	if cache == nil {
+		cache = census.NewLawCache()
+	}
+	out := make([]*core.CensusRunner, workers)
+	for i := range out {
+		out[i] = core.NewCensusRunner(cache)
+	}
+	return out
 }
 
 // BuildMatrix constructs a named noise matrix: uniform | binary |
@@ -202,13 +239,12 @@ type trialOut struct {
 }
 
 // runTrial executes one protocol run of the point on r's stream.
-func runTrial(p Point, nm *noise.Matrix, r *rng.Rand) trialOut {
-	counts, err := InitialCounts(p.N, p.K, p.Delta)
-	if err != nil {
-		return trialOut{err: err}
-	}
+// counts is the point's initial census (shared read-only across the
+// point's trials) and cr the executing worker's reusable census
+// runner.
+func runTrial(p Point, nm *noise.Matrix, counts []int64, r *rng.Rand, cr *core.CensusRunner) trialOut {
 	if p.Engine == "" || p.Engine == "census" {
-		res, err := core.RunCensus(p.N, nm, p.Params, counts, 0, false, r)
+		res, err := cr.Run(p.N, nm, p.Params, counts, 0, false, r)
 		if err != nil {
 			return trialOut{err: err}
 		}
@@ -272,14 +308,17 @@ func runPerNodeTrial(p Point, nm *noise.Matrix, counts []int64, r *rng.Rand) tri
 // parallelTrials runs trials start..start+count−1 of a point over a
 // bounded worker pool, in trial order. Trial t's stream is
 // ForkSeed(pointSeed, t) — a pure function of position, so any worker
-// count yields identical results.
-func parallelTrials(workers, start, count int, pointSeed uint64,
-	fn func(trial int, r *rng.Rand) trialOut) []trialOut {
+// count yields identical results. Worker w executes its trials
+// through runners[w], whose engine is reused (and reset) per trial;
+// which worker runs which trial does not affect results.
+func parallelTrials(runners []*core.CensusRunner, start, count int, pointSeed uint64,
+	fn func(trial int, r *rng.Rand, cr *core.CensusRunner) trialOut) []trialOut {
 
 	out := make([]trialOut, count)
 	if count == 0 {
 		return out
 	}
+	workers := len(runners)
 	if workers > count {
 		workers = count
 	}
@@ -287,12 +326,12 @@ func parallelTrials(workers, start, count int, pointSeed uint64,
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func() {
+		go func(cr *core.CensusRunner) {
 			defer wg.Done()
 			for t := range next {
-				out[t-start] = fn(t, rng.New(rng.ForkSeed(pointSeed, uint64(t))))
+				out[t-start] = fn(t, rng.New(rng.ForkSeed(pointSeed, uint64(t))), cr)
 			}
-		}()
+		}(runners[w])
 	}
 	for t := start; t < start+count; t++ {
 		next <- t
@@ -303,15 +342,19 @@ func parallelTrials(workers, start, count int, pointSeed uint64,
 }
 
 // evalPoint evaluates a full point: all Point.Trials trials, fanned
-// over the runner's workers.
-func (r Runner) evalPoint(p Point) (PointResult, error) {
+// over the given per-worker runners.
+func (r Runner) evalPoint(p Point, runners []*core.CensusRunner) (PointResult, error) {
 	nm, err := BuildMatrix(p.Matrix, p.K, p.ChannelEps)
 	if err != nil {
 		return PointResult{}, fmt.Errorf("sweep: point %d: %w", p.Index, err)
 	}
+	counts, err := InitialCounts(p.N, p.K, p.Delta)
+	if err != nil {
+		return PointResult{}, fmt.Errorf("sweep: point %d: %w", p.Index, err)
+	}
 	pointSeed := rng.ForkSeed(r.Seed, uint64(p.Index))
-	outs := parallelTrials(r.workers(), 0, p.Trials, pointSeed, func(t int, tr *rng.Rand) trialOut {
-		return runTrial(p, nm, tr)
+	outs := parallelTrials(runners, 0, p.Trials, pointSeed, func(t int, tr *rng.Rand, cr *core.CensusRunner) trialOut {
+		return runTrial(p, nm, counts, tr, cr)
 	})
 	return r.aggregate(p, outs)
 }
@@ -321,8 +364,12 @@ func (r Runner) evalPoint(p Point) (PointResult, error) {
 // the per-point trial-budget economy of the bisection mode. The batch
 // schedule is a pure function of (Trials, batch), never of worker
 // count, so early stopping preserves determinism.
-func (r Runner) evalPointAdaptive(p Point, batch int) (PointResult, error) {
+func (r Runner) evalPointAdaptive(p Point, batch int, runners []*core.CensusRunner) (PointResult, error) {
 	nm, err := BuildMatrix(p.Matrix, p.K, p.ChannelEps)
+	if err != nil {
+		return PointResult{}, fmt.Errorf("sweep: point %d: %w", p.Index, err)
+	}
+	counts, err := InitialCounts(p.N, p.K, p.Delta)
 	if err != nil {
 		return PointResult{}, fmt.Errorf("sweep: point %d: %w", p.Index, err)
 	}
@@ -339,8 +386,8 @@ func (r Runner) evalPointAdaptive(p Point, batch int) (PointResult, error) {
 		if rem := p.Trials - len(outs); count > rem {
 			count = rem
 		}
-		chunk := parallelTrials(r.workers(), len(outs), count, pointSeed, func(t int, tr *rng.Rand) trialOut {
-			return runTrial(p, nm, tr)
+		chunk := parallelTrials(runners, len(outs), count, pointSeed, func(t int, tr *rng.Rand, cr *core.CensusRunner) trialOut {
+			return runTrial(p, nm, counts, tr, cr)
 		})
 		outs = append(outs, chunk...)
 		res, err := r.aggregate(p, outs)

@@ -188,12 +188,13 @@ func TestPerNodeCrossCheckEngine(t *testing.T) {
 	// only coarse agreement is asserted (both succeed at a benign ε).
 	base := Point{
 		Matrix: "uniform", K: 2, ChannelEps: 0.4, Delta: 0.3,
-		N: 400, Trials: 5, Params: defaultPointParams(0.4, 0),
+		N: 400, Trials: 5, Params: defaultPointParams(0.4, 0, 0, 0),
 	}
 	for _, engine := range []string{"census", "B"} {
 		p := base
 		p.Engine = engine
-		res, err := Runner{Seed: 11, Workers: 2}.evalPoint(p)
+		r := Runner{Seed: 11, Workers: 2}
+		res, err := r.evalPoint(p, r.newTrialRunners(r.workers()))
 		if err != nil {
 			t.Fatalf("engine %s: %v", engine, err)
 		}

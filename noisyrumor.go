@@ -170,6 +170,24 @@ type Config struct {
 	// backends ignore it. Runs are reproducible for a fixed (Seed,
 	// Backend, Threads). If Params.Threads is also set, Params wins.
 	Threads int
+	// LawQuant is the census engine's Stage-2 law quantization step η:
+	// the pool distribution is rounded onto the deterministic
+	// η-lattice, the majority law memoized by lattice point, and the
+	// coupling bound n·ℓ·d_TV(q, q̂) charged per phase into the run's
+	// ErrorBudget — approximation quality stays in the Lemma-3
+	// currency. 0 (the default) is exact and bit-identical to
+	// pre-knob runs; η = 10⁻³ is the speed setting (the charged
+	// worst-case bound then typically exceeds 1 at census-scale n —
+	// honest but vacuous as a certificate; see DESIGN.md §2 for when
+	// to pick a smaller η instead). Per-node engines ignore it. If
+	// Params.LawQuant is also set, Params wins.
+	LawQuant float64
+	// CensusTol overrides the census engine's per-phase Stage-2
+	// truncation tolerance (0 = the documented default, 10⁻¹³).
+	// Tightening it shrinks ErrorBudget at the price of wider Stage-2
+	// summation windows. Per-node engines ignore it. If
+	// Params.CensusTol is also set, Params wins.
+	CensusTol float64
 }
 
 func (c Config) validate() error {
@@ -183,13 +201,16 @@ func (c Config) validate() error {
 }
 
 func (c Config) params() Params {
-	// The backend name and its worker count are orthogonal to the
-	// protocol constants, so they are excluded from the "zero Params
-	// means defaults" sentinel: Params{Backend: "parallel", Threads: 8}
+	// The backend name, its worker count and the census engine knobs
+	// are orthogonal to the protocol constants, so they are excluded
+	// from the "zero Params means defaults" sentinel:
+	// Params{Backend: "parallel", Threads: 8} (or {LawQuant: 1e-3})
 	// alone still gets derived constants.
 	probe := c.Params
 	probe.Backend = ""
 	probe.Threads = 0
+	probe.LawQuant = 0
+	probe.CensusTol = 0
 	if probe == (Params{}) {
 		// A zero Params means "defaults": derive ε from the matrix's
 		// worst-case kept bias at δ=1 when possible, falling back to
@@ -201,6 +222,8 @@ func (c Config) params() Params {
 		p := DefaultParams(eps)
 		p.Backend = c.Params.Backend
 		p.Threads = c.Params.Threads
+		p.LawQuant = c.Params.LawQuant
+		p.CensusTol = c.Params.CensusTol
 		return p
 	}
 	return c.Params
@@ -281,7 +304,16 @@ func RunCensus(cfg Config, counts []int64, correct Opinion) (CensusResult, error
 		return CensusResult{}, fmt.Errorf("noisyrumor: %d opinion counts for a %d-opinion noise matrix",
 			len(counts), cfg.Noise.K())
 	}
-	return core.RunCensus(cfg.N, cfg.Noise, cfg.params(), counts, correct, cfg.Trace, rng.New(cfg.Seed))
+	// Fold the top-level census knobs into the protocol parameters so
+	// each has exactly one resolution path; explicit Params fields win.
+	params := cfg.params()
+	if params.LawQuant == 0 {
+		params.LawQuant = cfg.LawQuant
+	}
+	if params.CensusTol == 0 {
+		params.CensusTol = cfg.CensusTol
+	}
+	return core.RunCensus(cfg.N, cfg.Noise, params, counts, correct, cfg.Trace, rng.New(cfg.Seed))
 }
 
 // RumorSpreading runs the noisy rumor-spreading problem (Theorem 1):
