@@ -27,14 +27,16 @@ build:
 vet:
 	$(GO) vet ./...
 
+# -shuffle=on: tests must not depend on in-file ordering; the shuffle
+# seed is printed on failure for reproduction (-shuffle=<seed>).
 test:
-	$(GO) test ./...
+	$(GO) test -shuffle=on ./...
 
 # -timeout 30m: the race detector is ~20× on the E-suite, which puts
 # single-core machines past go test's default 10-minute per-package
 # timeout even though every test passes.
 race:
-	$(GO) test -race -timeout 30m ./...
+	$(GO) test -race -shuffle=on -timeout 30m ./...
 
 # A tiny 3-point grid through the cmd/sweep flag surface under the
 # race detector: proves the sweep worker fan-out end to end.

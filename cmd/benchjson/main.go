@@ -139,7 +139,8 @@ func derive(rep *Report) {
 	var loop, batch, hugeBatch, hugeParallel float64
 	var phaseBatchHuge, censusPhaseHuge, censusSweepHuge float64
 	var sweepPointsPerSec, sweepPointsPerSecQuant, lawCacheHitRate float64
-	var stage2Phase, stage2PhaseQuant float64
+	var stage2Phase, stage2PhaseQuant, lawCacheDropped float64
+	var haveDropped bool
 	for _, b := range rep.Benchmarks {
 		switch {
 		case strings.Contains(b.Name, "SweepGridPointsQuant"):
@@ -147,6 +148,7 @@ func derive(rep *Report) {
 			// benchmark's name contains the exact one's as a prefix.
 			sweepPointsPerSecQuant = b.Extra["points/s"]
 			lawCacheHitRate = b.Extra["hit%"]
+			lawCacheDropped, haveDropped = b.Extra["dropped"]
 		case strings.Contains(b.Name, "SweepGridPoints"):
 			sweepPointsPerSec = b.Extra["points/s"]
 		case strings.Contains(b.Name, "CensusPhaseStage2Quant"):
@@ -207,6 +209,13 @@ func derive(rep *Report) {
 	// The realized law-cache hit rate of the quantized sweep (0..1).
 	if lawCacheHitRate > 0 {
 		add("law_cache_hit_rate", lawCacheHitRate/100)
+	}
+	// Store attempts the quantized sweep's cache refused at capacity.
+	// Zero is the healthy value and is emitted deliberately: a nonzero
+	// count means the bench grid no longer fits maxLawCacheEntries and
+	// the hit rate above is understating the steady-state cost.
+	if haveDropped {
+		add("law_cache_dropped_stores", lawCacheDropped)
 	}
 	// One n = 10⁹ Stage-2 phase, exact vs steady-state quantized — the
 	// per-phase view of the law cache.

@@ -125,7 +125,7 @@ goos: linux
 BenchmarkCensusPhaseStage2      	      20	   3200000 ns/op	       0 B/op	       0 allocs/op
 BenchmarkCensusPhaseStage2Quant 	      20	    160000 ns/op	       0 B/op	       0 allocs/op
 BenchmarkSweepGridPoints 	       2	  20619568 ns/op	       582.0 points/s	   98956 B/op	    1651 allocs/op
-BenchmarkSweepGridPointsQuant 	       2	   2157284 ns/op	        96.33 hit%	      5563 points/s	  152032 B/op	    4146 allocs/op
+BenchmarkSweepGridPointsQuant 	       2	   2157284 ns/op	         0 dropped	        96.33 hit%	      5563 points/s	  152032 B/op	    4146 allocs/op
 PASS
 `
 
@@ -152,12 +152,18 @@ func TestDeriveQuantMetrics(t *testing.T) {
 	if got := rep.Derived["stage2_phase_speedup_quant_over_exact"]; got != 20 {
 		t.Fatalf("stage-2 phase speedup = %v, want 20", got)
 	}
+	// The dropped-stores count is emitted even at its healthy zero —
+	// its absence, not its zero, is what signals an old bench run.
+	if got, ok := rep.Derived["law_cache_dropped_stores"]; !ok || got != 0 {
+		t.Fatalf("law_cache_dropped_stores = %v (present %v), want an explicit 0", got, ok)
+	}
 	// With only the exact pair present, the quant keys stay absent.
 	rep, err = parse(strings.NewReader(sampleSweep))
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, key := range []string{"sweep_grid_points_per_sec_quant", "law_cache_hit_rate",
+		"law_cache_dropped_stores",
 		"stage2_phase_speedup_quant_over_exact", "sweep_grid_speedup_quant_over_exact"} {
 		if _, ok := rep.Derived[key]; ok {
 			t.Fatalf("%s derived without the quant benchmarks present", key)

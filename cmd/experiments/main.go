@@ -46,7 +46,7 @@ func run(args []string, out io.Writer) error {
 		threads = fs.Int("threads", 0,
 			"intra-phase worker count for the parallel backend (0 = GOMAXPROCS)")
 		lawQuant = fs.Float64("law-quant", 0,
-			"census Stage-2 law quantization step η for census-engine trials, incl. the sweep-driven E21/E22 (0 = exact; try 1e-3; the extra coupling mass is reported in every budget)")
+			"census Stage-2 law quantization step η for census-engine trials, incl. the sweep-driven E21/E22 (0 = exact; try 1e-3; the law-level certificate ℓ·d_TV·sens is charged into every budget)")
 		censusTol = fs.Float64("census-tol", 0,
 			"census Stage-2 truncation tolerance override for census-engine trials (0 = the engine default 1e-13)")
 	)

@@ -103,6 +103,8 @@ func TestRunRejectsContradictoryFlags(t *testing.T) {
 			[]string{"-run", "E1", "-quick", "-law-quant", "1e-3"}},
 		{"census-tol on a non-sweep experiment without census engine",
 			[]string{"-run", "E4", "-quick", "-census-tol", "1e-9"}},
+		{"law-quant on a sweep-driven experiment with a per-node engine",
+			[]string{"-run", "E21", "-quick", "-engine", "B", "-law-quant", "1e-3"}},
 	}
 	for _, c := range cases {
 		if err := run(c.args, io.Discard); err == nil {

@@ -43,7 +43,7 @@ func run(args []string, out io.Writer) error {
 		backend = fs.String("backend", "", "sampling backend: "+strings.Join(noisyrumor.Backends(), " | ")+" (empty = loop; census engine ignores it)")
 		threads  = fs.Int("threads", 0, "intra-phase worker count for the parallel backend (0 = GOMAXPROCS)")
 		lawQuant = fs.Float64("law-quant", 0,
-			"census Stage-2 law quantization step η: memoize the majority law on the η-lattice, charging n·ℓ·d_TV per phase into the error budget (0 = exact; try 1e-3; census engine only)")
+			"census Stage-2 law quantization step η: memoize the majority law on the η-lattice, charging the law-level certificate ℓ·d_TV·sens per phase into the error budget (0 = exact; try 1e-3; census engine only)")
 		censusTol = fs.Float64("census-tol", 0,
 			"census Stage-2 truncation tolerance override (0 = the engine default 1e-13; census engine only)")
 	)
@@ -144,8 +144,9 @@ func run(args []string, out io.Writer) error {
 
 // runCensus is the aggregate-engine path: it calls the facade's
 // RunCensus directly (rather than the Result-typed wrappers) so the
-// run's accumulated Lemma-3 truncation budget is available to print
-// next to the outcome, as DESIGN §2 promises.
+// run's accumulated Lemma-3 budget — truncation plus the law-level
+// quantization leg — is available to print next to the outcome, as
+// DESIGN §2 promises.
 func runCensus(cfg noisyrumor.Config, nm *noisyrumor.NoiseMatrix,
 	counts string, correct int, header string, trace bool, out io.Writer) error {
 
@@ -181,13 +182,13 @@ func runCensus(cfg noisyrumor.Config, nm *noisyrumor.NoiseMatrix,
 	fmt.Fprintf(out, "consensus=%v winner=%d correct=%v rounds=%d (first all-correct: %d)\n",
 		res.Consensus, res.Winner, res.Correct, res.Rounds, res.FirstAllCorrect)
 	fmt.Fprintln(out, "memory: census engine tracks the aggregate opinion census only (no per-node counters)")
-	fmt.Fprintf(out, "error budget: %.3e (accumulated Lemma-3 truncation mass of the run; see DESIGN §2)\n",
-		res.ErrorBudget)
+	fmt.Fprintf(out, "error budget: %.3e (accumulated Lemma-3 mass of the run, of which %.3e is the law-level quantization leg; see DESIGN §2)\n",
+		res.ErrorBudget, res.QuantBudget)
 	if trace {
-		fmt.Fprintln(out, "\nphase trace (stage/phase, rounds, opinionated, bias toward correct, accumulated budget):")
+		fmt.Fprintln(out, "\nphase trace (stage/phase, rounds, opinionated, bias toward correct, accumulated budget with quant leg):")
 		for _, ph := range res.Trace {
-			fmt.Fprintf(out, "  s%d p%-3d rounds=%-6d opinionated=%-8d bias=%+.4f budget=%.3e\n",
-				ph.Stage, ph.Phase, ph.Rounds, ph.Opinionated, ph.Bias, ph.ErrorBudget)
+			fmt.Fprintf(out, "  s%d p%-3d rounds=%-6d opinionated=%-8d bias=%+.4f budget=%.3e quant=%.3e\n",
+				ph.Stage, ph.Phase, ph.Rounds, ph.Opinionated, ph.Bias, ph.ErrorBudget, ph.QuantBudget)
 		}
 	}
 	return nil

@@ -117,6 +117,8 @@ func TestRunRejectsContradictoryFlags(t *testing.T) {
 			"-engine", "B", "-law-quant", "1e-3"}},
 		{"census-tol without census engine", []string{"-n", "300", "-k", "2", "-eps", "0.4",
 			"-census-tol", "1e-9"}},
+		{"census-tol with per-node engine", []string{"-n", "300", "-k", "2", "-eps", "0.4",
+			"-engine", "P", "-census-tol", "1e-9"}},
 	}
 	for _, c := range cases {
 		if err := run(c.args, io.Discard); err == nil {
@@ -149,7 +151,7 @@ func TestRunCensusPrintsErrorBudget(t *testing.T) {
 		t.Fatal(err)
 	}
 	out := b.String()
-	for _, want := range []string{"error budget: ", "Lemma-3 truncation mass", "budget="} {
+	for _, want := range []string{"error budget: ", "Lemma-3 mass", "quantization leg", "budget=", "quant="} {
 		if !strings.Contains(out, want) {
 			t.Fatalf("output missing %q:\n%s", want, out)
 		}

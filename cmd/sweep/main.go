@@ -14,7 +14,8 @@
 //	sweep scaling -matrix uniform -k 3 -eps 0.3 -decades 3-12 -trials 12
 //	sweep grid ... -checkpoint sweep.ck.json   # interrupt and re-run to resume
 //	sweep bisect ... -law-quant 1e-3           # Stage-2 law cache: ~order-of-
-//	    # magnitude faster, the n·ℓ·d_TV coupling mass added to every budget
+//	    # magnitude faster, each phase's law-level certificate ℓ·d_TV·sens
+//	    # added to every budget (reported separately as the quant leg)
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"strconv"
 	"strings"
 
+	"github.com/gossipkit/noisyrumor/internal/census"
 	"github.com/gossipkit/noisyrumor/internal/sweep"
 )
 
@@ -75,7 +77,7 @@ func registerCommon(fs *flag.FlagSet) commonFlags {
 		jsonOut:    fs.Bool("json", false, "emit the full result as JSON instead of tables"),
 		engine:     fs.String("engine", "census", "trial engine: census (n-independent) or O | B | P (per-node cross-checks)"),
 		lawQuant: fs.Float64("law-quant", 0,
-			"census Stage-2 law quantization step η: round the pool distribution onto the η-lattice and memoize the majority law, charging n·ℓ·d_TV per phase into the reported budget (0 = exact; try 1e-3)"),
+			"census Stage-2 law quantization step η: round the pool distribution onto the η-lattice and memoize the majority law, charging the law-level certificate ℓ·d_TV·sens per phase into the reported budget (0 = exact; try 1e-3)"),
 		censusTol: fs.Float64("census-tol", 0,
 			"census Stage-2 truncation tolerance override (0 = the engine default 1e-13)"),
 	}
@@ -98,8 +100,27 @@ func (c commonFlags) validate() error {
 	return nil
 }
 
-func (c commonFlags) runner() sweep.Runner {
-	return sweep.Runner{Seed: *c.seed, Workers: *c.workers, Checkpoint: *c.checkpoint}
+// runner builds the sweep runner, sharing one Stage-2 law cache
+// across all workers and points when quantization is on so the CLI
+// can report cache statistics after the run.
+func (c commonFlags) runner() (sweep.Runner, *census.LawCache) {
+	var cache *census.LawCache
+	if *c.lawQuant > 0 {
+		cache = census.NewLawCache()
+	}
+	return sweep.Runner{Seed: *c.seed, Workers: *c.workers, Checkpoint: *c.checkpoint, Cache: cache}, cache
+}
+
+// printCacheStats reports the shared law cache's lifetime accounting —
+// including stores dropped at the entry cap, which would otherwise
+// masquerade as a low hit rate.
+func printCacheStats(out io.Writer, cache *census.LawCache) {
+	if cache == nil {
+		return
+	}
+	h, m := cache.Stats()
+	fmt.Fprintf(out, "law cache: %d hits, %d misses (hit rate %.1f%%), %d entries, %d dropped stores\n",
+		h, m, 100*cache.HitRate(), cache.Len(), cache.DroppedStores())
 }
 
 func runGrid(args []string, out io.Writer) error {
@@ -147,15 +168,16 @@ func runGrid(args []string, out io.Writer) error {
 			return fmt.Errorf("-c: %w", err)
 		}
 	}
-	res, err := common.runner().RunGrid(g)
+	r, cache := common.runner()
+	res, err := r.RunGrid(g)
 	if err != nil {
 		return err
 	}
 	if *common.jsonOut {
 		return emitJSON(out, res)
 	}
-	fmt.Fprintf(out, "grid: %d points × %d trials, seed %d (total truncation budget %.2e)\n\n",
-		len(res.Points), g.Trials, *common.seed, res.ErrorBudget)
+	fmt.Fprintf(out, "grid: %d points × %d trials, seed %d (total budget %.2e, quant leg %.2e)\n\n",
+		len(res.Points), g.Trials, *common.seed, res.ErrorBudget, res.QuantBudget)
 	fmt.Fprintf(out, "%-8s %-3s %-9s %-6s %-10s %-8s %-9s %-16s %-10s %s\n",
 		"matrix", "k", "eps", "delta", "n", "success", "trials", "wilson95", "rounds", "budget")
 	for _, p := range res.Points {
@@ -163,6 +185,8 @@ func runGrid(args []string, out io.Writer) error {
 			p.Point.Matrix, p.Point.K, p.Point.ChannelEps, p.Point.Delta, p.Point.N,
 			p.SuccessRate, p.Trials, p.WilsonLo, p.WilsonHi, p.MeanRounds, p.ErrorBudget)
 	}
+	fmt.Fprintln(out)
+	printCacheStats(out, cache)
 	return nil
 }
 
@@ -198,7 +222,8 @@ func runBisect(args []string, out io.Writer) error {
 		Lo: *lo, Hi: *hi, Tol: *tol, Trials: *trials, Batch: *batch, MaxEvals: *maxEvals,
 		Engine: engineName(*common.engine), LawQuant: *common.lawQuant, CensusTol: *common.censusTol,
 	}
-	res, err := common.runner().RunBisect(b)
+	r, cache := common.runner()
+	res, err := r.RunBisect(b)
 	if err != nil {
 		return err
 	}
@@ -213,8 +238,9 @@ func runBisect(args []string, out io.Writer) error {
 			i, ev.Eps, ev.Result.SuccessRate, ev.Result.WilsonLo, ev.Result.WilsonHi,
 			ev.Result.Trials, ev.Result.ErrorBudget)
 	}
-	fmt.Fprintf(out, "\ncritical ε* = %.5f (bracket [%.5f, %.5f], band [%.5f, %.5f], budget %.2e)\n",
-		res.Critical, res.Lo, res.Hi, res.BandLo, res.BandHi, res.ErrorBudget)
+	fmt.Fprintf(out, "\ncritical ε* = %.5f (bracket [%.5f, %.5f], band [%.5f, %.5f], budget %.2e, quant leg %.2e)\n",
+		res.Critical, res.Lo, res.Hi, res.BandLo, res.BandHi, res.ErrorBudget, res.QuantBudget)
+	printCacheStats(out, cache)
 	if lpb, err := sweep.LPBoundary(b.Matrix, b.K, b.ProtoEps, b.Delta, b.Lo, b.Hi); err == nil {
 		fmt.Fprintf(out, "LP majority-preservation boundary: %.5f — %s the critical band\n",
 			lpb, map[bool]string{true: "inside", false: "OUTSIDE"}[res.Contains(lpb)])
@@ -260,7 +286,8 @@ func runScaling(args []string, out io.Writer) error {
 		}
 		s.Ns = sweep.Decades(lo, hi)
 	}
-	res, err := common.runner().RunScaling(s)
+	r, cache := common.runner()
+	res, err := r.RunScaling(s)
 	if err != nil {
 		return err
 	}
@@ -273,8 +300,9 @@ func runScaling(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%-14d %-10.1f %-8.3f %-10.1f %.2e\n",
 			p.Point.N, p.MeanRounds, p.SuccessRate, p.MeanRounds/math.Log(float64(p.Point.N)), p.ErrorBudget)
 	}
-	fmt.Fprintf(out, "\nfit: T(n) = %.1f + %.1f·ln n (R²=%.4f, RMSE %.1f rounds; total budget %.2e)\n",
-		res.Fit.Intercept, res.Fit.Slope, res.Fit.R2, res.Fit.RMSE, res.ErrorBudget)
+	fmt.Fprintf(out, "\nfit: T(n) = %.1f + %.1f·ln n (R²=%.4f, RMSE %.1f rounds; total budget %.2e, quant leg %.2e)\n",
+		res.Fit.Intercept, res.Fit.Slope, res.Fit.R2, res.Fit.RMSE, res.ErrorBudget, res.QuantBudget)
+	printCacheStats(out, cache)
 	return nil
 }
 

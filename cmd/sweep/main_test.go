@@ -106,10 +106,13 @@ func TestRunRejectsBadInput(t *testing.T) {
 		{"scaling", "-decades", "0-6"},
 		{"scaling", "-decades", "x"},
 		{"scaling", "-n", "1000"},
-		// The census knobs contradict a per-node cross-check engine.
+		// The census knobs contradict a per-node cross-check engine —
+		// every knob × mode pairing must be rejected, not ignored.
 		{"grid", "-engine", "B", "-law-quant", "1e-3"},
 		{"grid", "-engine", "O", "-census-tol", "1e-9"},
 		{"bisect", "-engine", "P", "-law-quant", "1e-3"},
+		{"bisect", "-engine", "O", "-census-tol", "1e-9"},
+		{"scaling", "-engine", "P", "-law-quant", "1e-3"},
 		{"scaling", "-engine", "B", "-census-tol", "1e-9"},
 		// Out-of-range knob values surface as trial errors up front.
 		{"grid", "-matrix", "uniform", "-k", "3", "-eps", "0.3", "-delta", "0.1",

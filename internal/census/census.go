@@ -35,9 +35,10 @@
 //
 // Exactness contract: the engine samples process P's census chain
 // exactly except for the Stage-2 truncation — and, when enabled via
-// SetLawQuant, the Stage-2 q-quantization, whose per-phase coupling
-// bound n·ℓ·d_TV(q, q̂) is charged the same way — with the
-// accumulated total-variation mass exposed as Engine.ErrorBudget: the
+// SetLawQuant, the Stage-2 q-quantization, whose per-phase law-level
+// certificate min(1, ℓ·d_TV(q, q̂)·sens) is charged the same way —
+// with the accumulated total-variation mass exposed as
+// Engine.ErrorBudget: the
 // same currency as the paper's Lemma-3 coupling argument, which
 // transfers w.h.p. events from P to the real process O at an additive
 // probability cost. A caller comparing census sweeps against process
@@ -78,18 +79,19 @@ const DefaultTolerance = 1e-13
 // is not safe for concurrent use; the experiment harness runs one
 // engine per trial goroutine.
 type Engine struct {
-	n      int64
-	k      int
-	nm     *noise.Matrix
-	noisy  bool
-	r      *rng.Rand
-	counts []int64 // census: nodes currently holding each opinion
-	und    int64   // undecided nodes
-	tol    float64
-	quant  float64 // Stage-2 law quantization step η (0 = exact)
-	budget float64
-	cache  *LawCache // quantized-law memo (nil until quantization is on)
-	law    lawEvaluator
+	n       int64
+	k       int
+	nm      *noise.Matrix
+	noisy   bool
+	r       *rng.Rand
+	counts  []int64 // census: nodes currently holding each opinion
+	und     int64   // undecided nodes
+	tol     float64
+	quant   float64 // Stage-2 law quantization step η (0 = exact)
+	budget  float64
+	qbudget float64   // quantization leg of budget (Σ per-phase certs)
+	cache   *LawCache // quantized-law memo (nil until quantization is on)
+	law     lawEvaluator
 
 	sent    []int64   // per-opinion sent multiset, reused
 	recv    []int64   // per-opinion post-noise multiset, reused
@@ -165,6 +167,7 @@ func (e *Engine) Reset(n int64, nm *noise.Matrix, r *rng.Rand, counts []int64) e
 	e.noisy = !nm.IsIdentity()
 	e.r = r
 	e.budget = 0
+	e.qbudget = 0
 	e.resize(nm.K())
 	return e.Init(counts)
 }
@@ -258,13 +261,15 @@ func (e *Engine) SetTolerance(tol float64) error {
 // distribution q is rounded onto the deterministic η-lattice
 // (renormalized) before the majority law is evaluated, and the
 // evaluation is memoized across phases, trials and engines by the
-// lattice point. Each quantized phase charges the coupling bound
-// n·ℓ·d_TV(q, q̂) into ErrorBudget — the additive total-variation
-// price, in the same Lemma-3 currency as the truncation mass — so
-// estimates and their approximation cost keep traveling together.
-// η = 0 disables quantization (the default): the engine is then
-// bit-identical to an exact-law engine. Non-zero steps below
-// MinLawQuant (or ≥ 1) are rejected.
+// lattice point. Each quantized phase charges the law-level
+// certificate min(1, ℓ·d_TV(q, q̂)·sens) into ErrorBudget — an upper
+// bound on the TV distance between the exact phase law and the
+// substituted cached law, in the same Lemma-3 currency as the
+// truncation mass (see stage2Law and certSens) — so estimates and
+// their approximation cost keep traveling together, and the budget
+// stays ≪ 1 even at n = 10⁹. η = 0 disables quantization (the
+// default): the engine is then bit-identical to an exact-law engine.
+// Non-zero steps below MinLawQuant (or ≥ 1) are rejected.
 func (e *Engine) SetLawQuant(eta float64) error {
 	if math.IsNaN(eta) || eta < 0 || eta >= 1 || (eta > 0 && eta < MinLawQuant) {
 		return fmt.Errorf("census: SetLawQuant(%v)", eta)
@@ -290,14 +295,25 @@ func (e *Engine) SetCache(c *LawCache) {
 	}
 }
 
-// ErrorBudget returns the accumulated truncation mass of the run so
-// far: Σ over phases of n × (conservatively accounted per-node
-// total-variation gap between the sampled and the exact process-P
-// adoption law). By the union bound this upper-bounds the probability
+// ErrorBudget returns the accumulated approximation mass of the run
+// so far, two legs per phase: n × (conservatively accounted per-node
+// truncation gap between the sampled and the exact adoption law),
+// plus — when quantization substituted a cached law — the per-phase
+// law-level certificate min(1, ℓ·d_TV(q, q̂)·sens), an upper bound on
+// the TV distance between the exact and the substituted phase law.
+// By the union bound (over nodes for the truncation leg, over phases
+// for the quantization leg) the total upper-bounds the probability
 // that an exact process-P census run, optimally coupled, would have
 // diverged from this one — directly comparable to (and additive with)
 // the paper's Lemma-3 P↔O coupling budget.
 func (e *Engine) ErrorBudget() float64 { return e.budget }
+
+// QuantBudget returns the quantization leg of ErrorBudget alone: the
+// sum of the per-phase law-level certificates charged so far (0 with
+// quantization off, or when every phase bypassed the cache). It lets
+// callers report how much of the budget is law substitution versus
+// truncation.
+func (e *Engine) QuantBudget() float64 { return e.qbudget }
 
 // Consensus reports whether every node holds opinion m.
 func (e *Engine) Consensus(m int) bool {
@@ -455,29 +471,48 @@ func (e *Engine) Stage2Phase(rounds, sampleSize int) error {
 // degenerate for this pool point) it evaluates the law at q exactly —
 // the historical path, bit for bit. With quantization on it evaluates
 // at the lattice point q̂ instead, memoized in the law cache, and
-// additionally charges the coupling bound n·ℓ·d_TV(q, q̂): the ℓ
-// subsample draws of one node couple draw-by-draw at total-variation
-// cost d_TV each (maj is a function of the draws, so its law can only
-// be closer), and all n nodes are update-eligible. The law used
-// depends only on (q̂, ℓ, tol) — never on cache state or evaluation
-// order — so quantized runs stay bit-identical at any worker count.
+// additionally charges the law-level certificate
+//
+//	cert = min(1, ℓ · d_TV(q, q̂) · sens(q̂, ℓ, η))
+//
+// which upper-bounds d_TV(maj(Mult(ℓ,q)), maj(Mult(ℓ,q̂))) — the TV
+// distance between the exact phase law and the substituted cached law
+// (certSens documents the proof chain). The census chain consumes one
+// Stage-2 law per phase, so substituting r̂ for r costs one per-phase
+// law-level TV term in the Lemma-3 currency — not a per-node×draw
+// union bound — which is what keeps n = 10⁹ budgets ≪ 1. The
+// sensitivity factor is memoized with the law; when the certificate
+// exceeds certExactCutoff the phase bypasses the cache and evaluates
+// exactly at q (charging only truncation mass), so no single phase
+// ever contributes more than the cutoff. Law, certificate and the
+// bypass decision depend only on (q, q̂, ℓ, tol, η) — never on cache
+// state or evaluation order — so quantized runs stay bit-identical at
+// any worker count.
 func (e *Engine) stage2Law(q []float64, ell int) ([]float64, error) {
 	if e.quant > 0 {
 		if dtv, ok := quantizeQ(q, e.quant, e.qhat, e.qidx); ok {
-			e.budget += float64(e.n) * float64(ell) * dtv
-			e.keyBuf = lawKey(e.keyBuf, e.qidx, ell, e.tol)
-			if ent, hit := e.cache.lookup(e.keyBuf); hit {
-				e.budget += float64(e.n) * ent.dropped
+			e.keyBuf = lawKey(e.keyBuf, e.qidx, ell, e.tol, e.quant)
+			ent, hit := e.cache.lookup(e.keyBuf)
+			if !hit {
+				law, dropped, err := e.evalRenormLaw(e.qhat, ell)
+				if err != nil {
+					return nil, err
+				}
+				ent = e.cache.store(e.keyBuf, law, dropped, certSens(e.qhat, ell, e.quant))
+			}
+			cert := float64(ell) * dtv * ent.sens
+			if cert > 1 {
+				cert = 1
+			}
+			if cert <= certExactCutoff {
+				e.budget += cert + float64(e.n)*ent.dropped
+				e.qbudget += cert
 				copy(e.lawBuf, ent.r)
 				return e.lawBuf, nil
 			}
-			law, dropped, err := e.evalRenormLaw(e.qhat, ell)
-			if err != nil {
-				return nil, err
-			}
-			e.cache.store(e.keyBuf, law, dropped)
-			e.budget += float64(e.n) * dropped
-			return law, nil
+			// Certificate too weak for this pool point (a near-tie pool
+			// with large ℓ): fall through to the exact law at q. The
+			// q̂-law stays cached for phases whose cell it can certify.
 		}
 	}
 	law, dropped, err := e.evalRenormLaw(q, ell)

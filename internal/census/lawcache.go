@@ -17,29 +17,38 @@ const MinLawQuant = 1e-12
 // maxLawCacheEntries caps a cache's entry count. The lattice keeps the
 // set of distinct visited q̂ small in practice (a bisection hammers one
 // ε neighborhood), but a pathological sweep could still visit many
-// lattice points; past the cap the cache stops storing — results never
-// depend on cache contents, so the cap affects only cost.
+// lattice points; past the cap the cache stops storing (counted in
+// DroppedStores) — results never depend on cache contents, so the cap
+// affects only cost.
 const maxLawCacheEntries = 1 << 20
 
 // lawEntry is one memoized Stage-2 law: the renormalized adoption
-// distribution evaluated at a lattice point q̂ and the truncation mass
-// that evaluation dropped. Entries are immutable once stored.
+// distribution evaluated at a lattice point q̂, the truncation mass
+// that evaluation dropped, and the pivot-sensitivity certificate
+// factor (certSens) the engine multiplies into each phase's law-level
+// quantization charge. Entries are immutable once stored.
 type lawEntry struct {
 	r       []float64
 	dropped float64
+	sens    float64
 }
 
 // LawCache memoizes quantized Stage-2 majority-law evaluations across
-// engines. The key is (q̂ lattice indices, ℓ, tol) and the stored law
-// is a pure function of the key — never of cache state, evaluation
-// order or the engine that computed it — so sharing one cache across
-// trials, sweep points and worker goroutines is sound and keeps runs
-// bit-identical at any worker count. Safe for concurrent use.
+// engines. The key is (q̂ lattice indices, ℓ, tol, η) and the stored
+// law and certificate are pure functions of the key — never of cache
+// state, evaluation order or the engine that computed them — so
+// sharing one cache across trials, sweep points and worker goroutines
+// is sound and keeps runs bit-identical at any worker count. Safe for
+// concurrent use.
 type LawCache struct {
 	mu      sync.Mutex
 	entries map[string]lawEntry
-	hits    atomic.Int64
-	misses  atomic.Int64
+	// maxEntries caps len(entries); 0 means maxLawCacheEntries. Tests
+	// inject tiny caps to exercise the saturation path.
+	maxEntries    int
+	hits          atomic.Int64
+	misses        atomic.Int64
+	droppedStores atomic.Int64
 }
 
 // NewLawCache returns an empty cache ready for sharing.
@@ -63,21 +72,43 @@ func (c *LawCache) lookup(key []byte) (lawEntry, bool) {
 	return ent, ok
 }
 
-// store records an evaluated law under key, copying r and the key
-// bytes (callers reuse both buffers). Past maxLawCacheEntries new
-// entries are dropped.
-func (c *LawCache) store(key []byte, r []float64, dropped float64) {
-	cp := append([]float64(nil), r...)
+// store records an evaluated law and its certificate under key,
+// copying r and the key bytes (callers reuse both buffers), and
+// returns the entry so hit and miss paths share one arithmetic. At the
+// entry cap a new key is not inserted — the drop is counted in
+// DroppedStores (a saturated cache otherwise masquerades as a low hit
+// rate) — but the entry is still returned, so results never depend on
+// whether the store landed.
+func (c *LawCache) store(key []byte, r []float64, dropped, sens float64) lawEntry {
+	ent := lawEntry{r: append([]float64(nil), r...), dropped: dropped, sens: sens}
+	max := c.maxEntries
+	if max <= 0 {
+		max = maxLawCacheEntries
+	}
 	c.mu.Lock()
-	if len(c.entries) < maxLawCacheEntries {
-		c.entries[string(key)] = lawEntry{r: cp, dropped: dropped}
+	_, exists := c.entries[string(key)]
+	full := !exists && len(c.entries) >= max
+	if !full {
+		c.entries[string(key)] = ent
 	}
 	c.mu.Unlock()
+	if full {
+		c.droppedStores.Add(1)
+	}
+	return ent
 }
 
 // Stats returns the cache's lifetime lookup counts.
 func (c *LawCache) Stats() (hits, misses int64) {
 	return c.hits.Load(), c.misses.Load()
+}
+
+// DroppedStores returns how many evaluated laws could not be stored
+// because the cache was at its entry cap. A non-zero value explains a
+// low hit rate: the sweep visits more lattice points than the cache
+// can hold, and evaluations past the cap are recomputed every time.
+func (c *LawCache) DroppedStores() int64 {
+	return c.droppedStores.Load()
 }
 
 // HitRate returns hits/(hits+misses), or 0 before the first lookup.
@@ -101,7 +132,8 @@ func (c *LawCache) Len() int {
 // point is q̂_j = m_j/Σm — a pure function of (q, η), independent of
 // cache state or evaluation order. It writes q̂ into qhat, the lattice
 // indices into idx, and returns d_TV(q, q̂) = ½·Σ|q_j − q̂_j|, the
-// per-draw coupling distance the engine charges ℓ·n times per phase.
+// per-draw coupling distance entering the phase's law-level
+// certificate ℓ·d_TV·sens (see certSens and Engine.stage2Law).
 // ok is false when every index rounds to zero (η too coarse for this
 // pool point); callers then fall back to the exact law.
 func quantizeQ(q []float64, eta float64, qhat []float64, idx []int64) (dtv float64, ok bool) {
@@ -122,13 +154,16 @@ func quantizeQ(q []float64, eta float64, qhat []float64, idx []int64) (dtv float
 	return dtv / 2, true
 }
 
-// lawKey serializes (idx, ℓ, tol) into buf as a cache key. Varint
-// encoding is self-delimiting, so distinct (k, ℓ, tol, lattice)
-// tuples never collide.
-func lawKey(buf []byte, idx []int64, ell int, tol float64) []byte {
+// lawKey serializes (idx, ℓ, tol, η) into buf as a cache key. Varint
+// encoding is self-delimiting, so distinct (k, ℓ, tol, η, lattice)
+// tuples never collide. η is part of the key because the memoized
+// certificate factor (lawEntry.sens) depends on the η-cell radius,
+// not only on the lattice point.
+func lawKey(buf []byte, idx []int64, ell int, tol, eta float64) []byte {
 	buf = buf[:0]
 	buf = binary.AppendUvarint(buf, uint64(ell))
 	buf = binary.AppendUvarint(buf, math.Float64bits(tol))
+	buf = binary.AppendUvarint(buf, math.Float64bits(eta))
 	for _, m := range idx {
 		buf = binary.AppendUvarint(buf, uint64(m))
 	}

@@ -60,13 +60,16 @@ func TestQuantizeQ(t *testing.T) {
 // (run under -race in CI).
 func TestLawCacheStatsAndSharing(t *testing.T) {
 	c := NewLawCache()
-	key := lawKey(nil, []int64{3, 2, 1}, 5, 1e-13)
+	key := lawKey(nil, []int64{3, 2, 1}, 5, 1e-13, 1e-3)
 	if _, hit := c.lookup(key); hit {
 		t.Fatal("empty cache reported a hit")
 	}
-	c.store(key, []float64{0.5, 0.3, 0.2}, 1e-10)
+	ret := c.store(key, []float64{0.5, 0.3, 0.2}, 1e-10, 0.25)
+	if ret.dropped != 1e-10 || ret.sens != 0.25 || ret.r[0] != 0.5 {
+		t.Fatalf("store did not return the entry: %+v", ret)
+	}
 	ent, hit := c.lookup(key)
-	if !hit || ent.dropped != 1e-10 || ent.r[0] != 0.5 {
+	if !hit || ent.dropped != 1e-10 || ent.sens != 0.25 || ent.r[0] != 0.5 {
 		t.Fatalf("stored entry did not round-trip: %+v hit=%v", ent, hit)
 	}
 	if h, m := c.Stats(); h != 1 || m != 1 {
@@ -80,8 +83,8 @@ func TestLawCacheStatsAndSharing(t *testing.T) {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			k := lawKey(nil, []int64{int64(w), 1}, 3, 1e-13)
-			c.store(k, []float64{0.6, 0.4}, 0)
+			k := lawKey(nil, []int64{int64(w), 1}, 3, 1e-13, 1e-3)
+			c.store(k, []float64{0.6, 0.4}, 0, 1)
 			c.lookup(k)
 		}(w)
 	}
@@ -92,14 +95,17 @@ func TestLawCacheStatsAndSharing(t *testing.T) {
 }
 
 // TestLawKeyDistinct: keys must separate every axis — lattice point,
-// sample size, tolerance and dimension (varint self-delimiting).
+// sample size, tolerance, quantization step η (the memoized
+// certificate depends on the cell radius) and dimension (varint
+// self-delimiting).
 func TestLawKeyDistinct(t *testing.T) {
-	base := string(lawKey(nil, []int64{3, 2}, 5, 1e-13))
+	base := string(lawKey(nil, []int64{3, 2}, 5, 1e-13, 1e-3))
 	for _, other := range []string{
-		string(lawKey(nil, []int64{3, 3}, 5, 1e-13)),
-		string(lawKey(nil, []int64{3, 2}, 7, 1e-13)),
-		string(lawKey(nil, []int64{3, 2}, 5, 1e-9)),
-		string(lawKey(nil, []int64{3, 2, 0}, 5, 1e-13)),
+		string(lawKey(nil, []int64{3, 3}, 5, 1e-13, 1e-3)),
+		string(lawKey(nil, []int64{3, 2}, 7, 1e-13, 1e-3)),
+		string(lawKey(nil, []int64{3, 2}, 5, 1e-9, 1e-3)),
+		string(lawKey(nil, []int64{3, 2}, 5, 1e-13, 1e-2)),
+		string(lawKey(nil, []int64{3, 2, 0}, 5, 1e-13, 1e-3)),
 	} {
 		if other == base {
 			t.Fatalf("distinct law identities share a key: %q", base)
@@ -109,11 +115,13 @@ func TestLawKeyDistinct(t *testing.T) {
 
 // TestQuantBudgetDominatesLawTV is the budget-conservativeness
 // property the engine's accounting rests on: for a grid of (q, η, ℓ),
-// the charged per-node coupling bound ℓ·d_TV(q, q̂) must dominate the
-// directly computed total-variation distance between MajorityLaw(q)
-// and MajorityLaw(q̂) — the ℓ subsample draws couple one by one at
-// d_TV each and maj is a function of the draws — up to the two
-// evaluations' own (tiny, separately accounted) truncation masses.
+// the charged law-level certificate ℓ·d_TV(q, q̂)·certSens(q̂, ℓ, η)
+// must dominate the directly computed total-variation distance between
+// MajorityLaw(q) and MajorityLaw(q̂) — the hybrid/flip-coupling chain
+// certSens documents — up to the two evaluations' own (tiny,
+// separately accounted) truncation masses. This extends the PR-5 test
+// (which charged the looser draw-by-draw ℓ·d_TV with sens ≡ 1) to the
+// memoized sensitivity factor.
 func TestQuantBudgetDominatesLawTV(t *testing.T) {
 	qs := [][]float64{
 		{0.7, 0.3},
@@ -143,10 +151,17 @@ func TestQuantBudgetDominatesLawTV(t *testing.T) {
 					lawTV += math.Abs(exact[j] - quant[j])
 				}
 				lawTV /= 2
-				charged := float64(ell) * dtv
+				sens := certSens(qhat, ell, eta)
+				if sens < 0 || sens > 1 {
+					t.Fatalf("q̂=%v η=%v ℓ=%d: certSens %v outside [0, 1]", qhat, eta, ell, sens)
+				}
+				charged := float64(ell) * dtv * sens
+				if charged > 1 {
+					charged = 1
+				}
 				if lawTV > charged+d1+d2+1e-12 {
-					t.Errorf("q=%v η=%v ℓ=%d: law TV %.3g exceeds charged bound %.3g (+trunc %.3g)",
-						q, eta, ell, lawTV, charged, d1+d2)
+					t.Errorf("q=%v η=%v ℓ=%d: law TV %.3g exceeds charged certificate %.3g (sens %.3g, +trunc %.3g)",
+						q, eta, ell, lawTV, charged, sens, d1+d2)
 				}
 			}
 		}
@@ -373,10 +388,10 @@ func TestEngineQuantDeterministicAndBudgeted(t *testing.T) {
 		t.Fatalf("shared cache saw (hits, misses) = (%d, %d); priming is not wired", h, m)
 	}
 	if qBudget1 < exactBudget {
-		t.Fatalf("quantized budget %v below exact budget %v; the coupling charge is missing", qBudget1, exactBudget)
+		t.Fatalf("quantized budget %v below exact budget %v; the certificate charge is missing", qBudget1, exactBudget)
 	}
 	if qBudget1 == exactBudget {
-		t.Fatalf("quantized budget equals exact budget %v; n·ℓ·d_TV was never charged", exactBudget)
+		t.Fatalf("quantized budget equals exact budget %v; the law-level certificate was never charged", exactBudget)
 	}
 }
 

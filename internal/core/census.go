@@ -21,9 +21,14 @@ type CensusResult struct {
 	Final []int64
 	// Undecided is the number of still-undecided nodes at the end.
 	Undecided int64
-	// ErrorBudget is the run's accumulated Lemma-3-style truncation
-	// budget (see census.Engine.ErrorBudget).
+	// ErrorBudget is the run's accumulated Lemma-3-style approximation
+	// budget: truncation mass plus, under quantization, the per-phase
+	// law-level certificates (see census.Engine.ErrorBudget).
 	ErrorBudget float64
+	// QuantBudget is the quantization leg of ErrorBudget alone — the
+	// summed law-level certificates (census.Engine.QuantBudget); zero
+	// for exact runs.
+	QuantBudget float64
 }
 
 // RunCensus executes the full two-stage protocol on the aggregate
@@ -145,6 +150,7 @@ func (cr *CensusRunner) Run(n int64, nm *noise.Matrix, params Params, initial []
 			Dist:        c,
 			Bias:        bias,
 			ErrorBudget: eng.ErrorBudget(),
+			QuantBudget: eng.QuantBudget(),
 		})
 	}
 
@@ -165,6 +171,7 @@ func (cr *CensusRunner) Run(n int64, nm *noise.Matrix, params Params, initial []
 	res.Final = eng.Counts()
 	res.Undecided = eng.Undecided()
 	res.ErrorBudget = eng.ErrorBudget()
+	res.QuantBudget = eng.QuantBudget()
 	res.Winner = model.Undecided
 	for i, c := range res.Final {
 		if c == n {

@@ -78,8 +78,9 @@ type Params struct {
 	// LawQuant is the census engine's Stage-2 law quantization step η
 	// (census.Engine.SetLawQuant): the pool distribution is rounded
 	// onto the η-lattice, the majority law memoized by lattice point,
-	// and the coupling bound n·ℓ·d_TV(q, q̂) charged per phase into
-	// the run's ErrorBudget. 0 (the default) is exact — bit-identical
+	// and the law-level certificate min(1, ℓ·d_TV(q, q̂)·sens) charged
+	// per phase into the run's ErrorBudget — n-free, so budgets stay
+	// ≪ 1 at census scale. 0 (the default) is exact — bit-identical
 	// to an engine without the knob. Per-node engines ignore it.
 	LawQuant float64
 	// CensusTol overrides the census engine's per-phase Stage-2

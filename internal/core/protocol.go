@@ -30,10 +30,14 @@ type PhaseStats struct {
 	// Bias is Dist[correct] − max rival (Definition 1's δ toward the
 	// correct opinion).
 	Bias float64
-	// ErrorBudget is the census engine's accumulated truncation budget
-	// as of this phase end (census.Engine.ErrorBudget); zero for the
-	// per-node engines, which sample their phase laws exactly.
+	// ErrorBudget is the census engine's accumulated approximation
+	// budget as of this phase end (census.Engine.ErrorBudget); zero for
+	// the per-node engines, which sample their phase laws exactly.
 	ErrorBudget float64
+	// QuantBudget is the quantization leg of ErrorBudget as of this
+	// phase end — the summed per-phase law-level certificates
+	// (census.Engine.QuantBudget); zero for exact runs.
+	QuantBudget float64
 }
 
 // Result is the outcome of one protocol execution.

@@ -69,7 +69,7 @@ func RunE21(cfg Config) (*Report, error) {
 		for _, e := range epsAxis {
 			cols = append(cols, fmt.Sprintf("%.2f", e))
 		}
-		table := NewTable(fmt.Sprintf("%s (k=3): success rate over channel ε × initial bias δ; mp = LP-certified (ε_proto=%v, δ)-majority-preserving (total truncation budget %.1e)",
+		table := NewTable(fmt.Sprintf("%s (k=3): success rate over channel ε × initial bias δ; mp = LP-certified (ε_proto=%v, δ)-majority-preserving (total budget %.1e)",
 			matrix, protoEps, res.ErrorBudget), cols...)
 		i := 0
 		for range deltas {
@@ -144,21 +144,22 @@ func RunE21(cfg Config) (*Report, error) {
 		fmt.Sprintf("critical ε*(2, binary) = %.4f with critical band [%.4f, %.4f] after %d evaluations; LP majority-preservation boundary ε_proto/2 = %.4f contained: %v",
 			bres.Critical, bres.BandLo, bres.BandHi, len(bres.Evals),
 			lpb, map[bool]string{true: "PASS", false: "FAIL"}[contained]),
-		fmt.Sprintf("accumulated Lemma-3 truncation budget of the bisection: %.2e (%s)",
-			bres.ErrorBudget, budgetNote(bres.ErrorBudget)))
+		fmt.Sprintf("accumulated Lemma-3 budget of the bisection: %.2e (%s)",
+			bres.ErrorBudget, budgetNote(bres.ErrorBudget, bres.QuantBudget)))
 	return rep, nil
 }
 
-// budgetNote annotates an accumulated Lemma-3 budget honestly: below
-// 1 it is a real union-bound certificate; at or above 1 (routine once
-// the quantization coupling mass n·ℓ·d_TV is charged at census-scale
-// n) it is a vacuous worst-case bound and the band checks are the
-// evidence.
-func budgetNote(budget float64) string {
+// budgetNote annotates an accumulated Lemma-3 budget with what it
+// certifies: below 1 it is a real union-bound certificate (since the
+// law-level quantization accounting, that is the routine case even at
+// census-scale n — the per-phase certificate ℓ·d_TV·sens carries no n
+// factor) and the note reports the quantization leg; only a budget
+// genuinely ≥ 1 warrants the vacuousness warning.
+func budgetNote(budget, quant float64) string {
 	if budget < 1 {
-		return "≪ 1; every estimate above is exact process P up to this mass"
+		return fmt.Sprintf("a non-vacuous certificate: every estimate above is exact process P up to this mass, of which %.2e is law-level quantization substitution", quant)
 	}
-	return "≥ 1: the worst-case quantization coupling bound is vacuous as a certificate here; the band checks above are the empirical accuracy evidence (see DESIGN §2)"
+	return "≥ 1: vacuous as a certificate here; the band checks above are the empirical accuracy evidence (see DESIGN §2)"
 }
 
 // RunE22 measures T(n), the rounds until all nodes hold the correct
@@ -203,7 +204,7 @@ func RunE22(cfg Config) (*Report, error) {
 	rep.Findings = append(rep.Findings,
 		fmt.Sprintf("T(n) = %.1f + %.1f·ln n (R²=%.4f, RMSE %.1f rounds): linear in log n as Theorems 1–2 require; slope·ε² = %.2f",
 			res.Fit.Intercept, res.Fit.Slope, res.Fit.R2, res.Fit.RMSE, res.Fit.Slope*eps*eps),
-		fmt.Sprintf("accumulated Lemma-3 truncation budget across all %d trials: %.2e (%s; dominated by the largest-n points — the budget scales with n, and the per-point mass is attached above)",
-			s.Trials*len(s.Ns), res.ErrorBudget, budgetNote(res.ErrorBudget)))
+		fmt.Sprintf("accumulated Lemma-3 budget across all %d trials: %.2e (%s; the truncation leg scales with n while the quantization leg is per-phase, and the per-point mass is attached above)",
+			s.Trials*len(s.Ns), res.ErrorBudget, budgetNote(res.ErrorBudget, res.QuantBudget)))
 	return rep, nil
 }

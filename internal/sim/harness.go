@@ -47,8 +47,8 @@ type Config struct {
 	// (0 = exact; see core.Params.LawQuant). It applies to every
 	// census-engine trial: protocol trials under Engine "census" and
 	// the sweep-driven experiments (E21/E22), whose trials run on the
-	// census engine regardless of Engine. The extra coupling mass is
-	// reported in every budget the experiments surface.
+	// census engine regardless of Engine. The law-level certificate
+	// is charged into every budget the experiments surface.
 	LawQuant float64
 	// CensusTol overrides the census engine's truncation tolerance
 	// for the same trials (0 = default; see core.Params.CensusTol).

@@ -48,8 +48,9 @@ func BenchmarkSweepGridPoints(b *testing.B) {
 // law cache — the Stage-2 fast path of the whole stack: one shared
 // cache serves every trial of every point, and the per-worker engines
 // are reused across trials. Reports points/s plus the realized cache
-// hit rate (hit%), from which benchjson derives the quantized
-// throughput and law_cache_hit_rate metrics.
+// hit rate (hit%) and capacity-evicted store attempts (dropped), from
+// which benchjson derives the quantized throughput,
+// law_cache_hit_rate and law_cache_dropped_stores metrics.
 func BenchmarkSweepGridPointsQuant(b *testing.B) {
 	g := benchGrid(1e-3)
 	pts, err := g.Points()
@@ -69,6 +70,7 @@ func BenchmarkSweepGridPointsQuant(b *testing.B) {
 	}
 	b.ReportMetric(float64(len(pts))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
 	b.ReportMetric(cache.HitRate()*100, "hit%")
+	b.ReportMetric(float64(cache.DroppedStores()), "dropped")
 }
 
 // BenchmarkSweepBisect tracks the cost of a full Wilson-stopped

@@ -76,8 +76,11 @@ type BisectResult struct {
 	// boundary should be compared against the band.
 	BandLo float64 `json:"band_lo"`
 	BandHi float64 `json:"band_hi"`
-	// ErrorBudget sums the truncation budget of every evaluation.
+	// ErrorBudget sums the approximation budget of every evaluation.
 	ErrorBudget float64 `json:"error_budget"`
+	// QuantBudget is the quantization leg of ErrorBudget (zero for
+	// exact runs).
+	QuantBudget float64 `json:"quant_budget,omitempty"`
 }
 
 // Contains reports whether eps lies in the critical band, with a tiny
@@ -168,6 +171,7 @@ func (r Runner) RunBisect(b Bisect) (*BisectResult, error) {
 		}
 		res.Evals = append(res.Evals, ev)
 		res.ErrorBudget += pr.ErrorBudget
+		res.QuantBudget += pr.QuantBudget
 		return ev, nil
 	}
 

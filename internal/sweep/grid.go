@@ -44,10 +44,14 @@ type Grid struct {
 // GridResult is an evaluated grid, points in enumeration order.
 type GridResult struct {
 	Points []PointResult `json:"points"`
-	// ErrorBudget is the summed truncation budget of every trial of
+	// ErrorBudget is the summed approximation budget of every trial of
 	// every point — the union-bound probability that any number in the
 	// result diverged from exact process P.
 	ErrorBudget float64 `json:"error_budget"`
+	// QuantBudget is the quantization leg of ErrorBudget: the summed
+	// law-level certificates of every quantized phase (zero for exact
+	// sweeps).
+	QuantBudget float64 `json:"quant_budget,omitempty"`
 }
 
 // Points enumerates the grid in its deterministic order.
@@ -124,6 +128,7 @@ func (r Runner) RunGrid(g Grid) (*GridResult, error) {
 		}
 		res.Points[i] = pr
 		res.ErrorBudget += pr.ErrorBudget
+		res.QuantBudget += pr.QuantBudget
 	}
 	return res, nil
 }

@@ -40,9 +40,12 @@ type ScalingResult struct {
 	// Fit is the least-squares line MeanRounds = Intercept +
 	// Slope·ln n, with R2 and RMSE (in rounds) as residual measures.
 	Fit stats.Fit `json:"fit"`
-	// ErrorBudget is the summed truncation budget of every trial that
-	// produced the curve.
+	// ErrorBudget is the summed approximation budget of every trial
+	// that produced the curve.
 	ErrorBudget float64 `json:"error_budget"`
+	// QuantBudget is the quantization leg of ErrorBudget (zero for
+	// exact sweeps).
+	QuantBudget float64 `json:"quant_budget,omitempty"`
 }
 
 // RunScaling evaluates every population size and fits the log law.
@@ -91,6 +94,7 @@ func (r Runner) RunScaling(s Scaling) (*ScalingResult, error) {
 		}
 		res.Points[i] = pr
 		res.ErrorBudget += pr.ErrorBudget
+		res.QuantBudget += pr.QuantBudget
 		x[i] = math.Log(float64(n))
 		y[i] = pr.MeanRounds
 	}

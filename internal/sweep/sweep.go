@@ -33,7 +33,9 @@
 // an exact process-P run, in the additive-probability currency of the
 // paper's Lemma 3. Estimates and their approximation mass travel
 // together. With a non-zero LawQuant the budget additionally carries
-// each phase's n·ℓ·d_TV quantization coupling mass (DESIGN.md §2).
+// each phase's law-level quantization certificate ℓ·d_TV(q, q̂)·sens —
+// the TV bound on substituting the cached law, reported separately as
+// QuantBudget (DESIGN.md §2).
 //
 // Hot loop: each worker goroutine owns one core.CensusRunner whose
 // census engine is reused (Reset, not re-New) across every trial of
@@ -93,7 +95,8 @@ type Point struct {
 
 // PointResult is one evaluated point: the success-probability
 // estimate with its Wilson interval, the mean rounds to all-correct,
-// and the point's accumulated truncation budget.
+// and the point's accumulated Lemma-3 budget (truncation plus the
+// law-level quantization certificate, the latter also broken out).
 type PointResult struct {
 	Point Point `json:"point"`
 	// Trials is the number of trials actually run (Wilson early
@@ -113,6 +116,10 @@ type PointResult struct {
 	// trials: a union-bound on the probability that any of them
 	// diverged from exact process P (zero for per-node engines).
 	ErrorBudget float64 `json:"error_budget"`
+	// QuantBudget is the quantization leg of ErrorBudget: the summed
+	// per-phase law-level certificates over the point's trials (zero
+	// for exact runs).
+	QuantBudget float64 `json:"quant_budget,omitempty"`
 }
 
 // Runner executes sweeps. The zero value runs on GOMAXPROCS workers
@@ -235,6 +242,7 @@ type trialOut struct {
 	correct bool
 	rounds  int
 	budget  float64
+	qbudget float64
 	err     error
 }
 
@@ -252,7 +260,7 @@ func runTrial(p Point, nm *noise.Matrix, counts []int64, r *rng.Rand, cr *core.C
 		if res.FirstAllCorrect >= 0 {
 			rounds = res.FirstAllCorrect
 		}
-		return trialOut{correct: res.Correct, rounds: rounds, budget: res.ErrorBudget}
+		return trialOut{correct: res.Correct, rounds: rounds, budget: res.ErrorBudget, qbudget: res.QuantBudget}
 	}
 	return runPerNodeTrial(p, nm, counts, r)
 }
@@ -414,6 +422,7 @@ func (r Runner) aggregate(p Point, outs []trialOut) (PointResult, error) {
 		}
 		sumRounds += float64(o.rounds)
 		res.ErrorBudget += o.budget
+		res.QuantBudget += o.qbudget
 	}
 	res.SuccessRate = float64(res.Successes) / float64(res.Trials)
 	res.MeanRounds = sumRounds / float64(res.Trials)

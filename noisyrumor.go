@@ -173,13 +173,13 @@ type Config struct {
 	// LawQuant is the census engine's Stage-2 law quantization step η:
 	// the pool distribution is rounded onto the deterministic
 	// η-lattice, the majority law memoized by lattice point, and the
-	// coupling bound n·ℓ·d_TV(q, q̂) charged per phase into the run's
-	// ErrorBudget — approximation quality stays in the Lemma-3
-	// currency. 0 (the default) is exact and bit-identical to
-	// pre-knob runs; η = 10⁻³ is the speed setting (the charged
-	// worst-case bound then typically exceeds 1 at census-scale n —
-	// honest but vacuous as a certificate; see DESIGN.md §2 for when
-	// to pick a smaller η instead). Per-node engines ignore it. If
+	// law-level certificate min(1, ℓ·d_TV(q, q̂)·sens) charged per
+	// phase into the run's ErrorBudget — approximation quality stays
+	// in the Lemma-3 currency, and because the certificate bounds the
+	// TV distance between the phase laws themselves (not a per-node
+	// coupling) it is n-free: at η = 10⁻³ the budget stays ≪ 1 even at
+	// n = 10⁹ (see DESIGN.md §2). 0 (the default) is exact and
+	// bit-identical to pre-knob runs. Per-node engines ignore it. If
 	// Params.LawQuant is also set, Params wins.
 	LawQuant float64
 	// CensusTol overrides the census engine's per-phase Stage-2
