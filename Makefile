@@ -19,13 +19,30 @@ HEADLINE_BENCH := 'BenchmarkRumorSpreading($$|Huge)|BenchmarkPhase(Batch|Paralle
 # specific point.
 BENCH_N ?= $(shell i=1; while [ -e BENCH_$$i.json ]; do i=$$((i+1)); done; echo $$i)
 
-.PHONY: build vet test race sweep-smoke bench-quick bench-json profile check clean
+.PHONY: build vet lint test race sweep-smoke bench-quick bench-json profile check clean
 
 build:
 	$(GO) build ./...
 
 vet:
 	$(GO) vet ./...
+
+# Versions of the external linters the CI lint job installs. Local
+# runs use them only when already on PATH: this repo builds offline,
+# so `make lint` must not download tools (go.mod has no `tool`
+# directive for the same reason).
+STATICCHECK_VERSION := 2025.1.1
+GOVULNCHECK_VERSION := v1.1.4
+
+# lint is the static contract gate: go vet plus nrlint, the project's
+# own analyzer suite enforcing the determinism / overflow / budget /
+# rngfork contracts (see DESIGN.md "Statically enforced contracts").
+# staticcheck and govulncheck run when installed (CI installs the
+# pinned versions above); a bare `//nrlint:allow` fails the build.
+lint: vet
+	$(GO) run ./cmd/nrlint
+	@if command -v staticcheck >/dev/null 2>&1; then 	    echo "staticcheck ./..."; staticcheck ./...; 	else echo "staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; fi
+	@if command -v govulncheck >/dev/null 2>&1; then 	    echo "govulncheck ./..."; govulncheck ./...; 	else echo "govulncheck not installed; skipping (CI pins $(GOVULNCHECK_VERSION))"; fi
 
 # -shuffle=on: tests must not depend on in-file ordering; the shuffle
 # seed is printed on failure for reproduction (-shuffle=<seed>).
@@ -50,7 +67,9 @@ bench-quick:
 # bench-json reruns the headline benchmarks at full size (several
 # minutes: it contains full n=10⁵ and n=10⁷ protocol executions) and
 # snapshots them into BENCH_$(BENCH_N).json.
-bench-json:
+# bench-json refuses to snapshot a perf trajectory point from a tree
+# that fails the static contract gate.
+bench-json: lint
 	{ $(GO) test -run '^$$' -bench $(HEADLINE_BENCH) -benchtime 2x -timeout 60m . ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkPhase(Batch|Parallel)Huge' -benchtime 2x -timeout 60m ./internal/model ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkCensusPhase(Stage1|Huge)' -benchtime 2x -timeout 60m ./internal/census ; \
@@ -74,7 +93,7 @@ profile:
 	    -o profiles/sweep.test ./internal/sweep
 	@echo "profiles written to profiles/; inspect with: go tool pprof -top profiles/census_cpu.prof"
 
-check: build vet race sweep-smoke bench-quick
+check: build lint race sweep-smoke bench-quick
 
 clean:
 	$(GO) clean ./...

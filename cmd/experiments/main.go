@@ -18,6 +18,7 @@ import (
 	"strings"
 	"time"
 
+	"github.com/gossipkit/noisyrumor/internal/core"
 	"github.com/gossipkit/noisyrumor/internal/model"
 	"github.com/gossipkit/noisyrumor/internal/sim"
 )
@@ -29,30 +30,55 @@ func main() {
 	}
 }
 
+// cliFlags is the binary's full flag set; registration is separate
+// from run so the tests can assert it matches the CLI's declared
+// universe in core.FlagUniverses.
+type cliFlags struct {
+	runID     *string
+	seed      *uint64
+	quick     *bool
+	write     *string
+	writeMD   *bool
+	csvDir    *string
+	workers   *int
+	backend   *string
+	engine    *string
+	threads   *int
+	lawQuant  *float64
+	censusTol *float64
+}
+
+func registerFlags(fs *flag.FlagSet) *cliFlags {
+	return &cliFlags{
+		runID:   fs.String("run", "all", "experiment ID (E1…E22) or 'all'"),
+		seed:    fs.Uint64("seed", 20160725, "suite seed (default: PODC'16 date)"),
+		quick:   fs.Bool("quick", false, "CI-scale populations and trial counts"),
+		write:   fs.String("writefile", "", "write a markdown report to this file"),
+		writeMD: fs.Bool("write", false, "shorthand for -writefile EXPERIMENTS.md"),
+		csvDir:  fs.String("csvdir", "", "also write every result table as CSV into this directory"),
+		workers: fs.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS)"),
+		backend: fs.String("backend", "",
+			"sampling backend for protocol trials ("+strings.Join(model.BackendNames(), ", ")+"; empty = loop)"),
+		engine: fs.String("engine", "",
+			"communication engine for protocol trials ("+strings.Join(model.ProcessNames(), ", ")+"; empty = O; census runs trials on the n-independent aggregate engine)"),
+		threads: fs.Int("threads", 0,
+			"intra-phase worker count for the parallel backend (0 = GOMAXPROCS)"),
+		lawQuant: fs.Float64("law-quant", 0,
+			"census Stage-2 law quantization step η for census-engine trials, incl. the sweep-driven E21/E22 (0 = exact; try 1e-3; the law-level certificate ℓ·d_TV·sens is charged into every budget)"),
+		censusTol: fs.Float64("census-tol", 0,
+			"census Stage-2 truncation tolerance override for census-engine trials (0 = the engine default 1e-13)"),
+	}
+}
+
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
-	var (
-		runID   = fs.String("run", "all", "experiment ID (E1…E22) or 'all'")
-		seed    = fs.Uint64("seed", 20160725, "suite seed (default: PODC'16 date)")
-		quick   = fs.Bool("quick", false, "CI-scale populations and trial counts")
-		write   = fs.String("writefile", "", "write a markdown report to this file")
-		writeMD = fs.Bool("write", false, "shorthand for -writefile EXPERIMENTS.md")
-		csvDir  = fs.String("csvdir", "", "also write every result table as CSV into this directory")
-		workers = fs.Int("workers", 0, "trial parallelism (0 = GOMAXPROCS)")
-		backend = fs.String("backend", "",
-			"sampling backend for protocol trials ("+strings.Join(model.BackendNames(), ", ")+"; empty = loop)")
-		engine = fs.String("engine", "",
-			"communication engine for protocol trials ("+strings.Join(model.ProcessNames(), ", ")+"; empty = O; census runs trials on the n-independent aggregate engine)")
-		threads = fs.Int("threads", 0,
-			"intra-phase worker count for the parallel backend (0 = GOMAXPROCS)")
-		lawQuant = fs.Float64("law-quant", 0,
-			"census Stage-2 law quantization step η for census-engine trials, incl. the sweep-driven E21/E22 (0 = exact; try 1e-3; the law-level certificate ℓ·d_TV·sens is charged into every budget)")
-		censusTol = fs.Float64("census-tol", 0,
-			"census Stage-2 truncation tolerance override for census-engine trials (0 = the engine default 1e-13)")
-	)
+	cf := registerFlags(fs)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+	runID, seed, quick, write, writeMD, csvDir := cf.runID, cf.seed, cf.quick, cf.write, cf.writeMD, cf.csvDir
+	workers, backend, engine, threads := cf.workers, cf.backend, cf.engine, cf.threads
+	lawQuant, censusTol := cf.lawQuant, cf.censusTol
 	set := map[string]bool{}
 	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	if _, err := model.BackendByName(*backend); err != nil {
@@ -64,19 +90,6 @@ func run(args []string, out io.Writer) error {
 	}
 	if *threads < 0 {
 		return fmt.Errorf("-threads must be ≥ 0, got %d", *threads)
-	}
-	// Reject contradictory flag combinations instead of silently
-	// ignoring the losing flag.
-	if proc == model.ProcessCensus {
-		if set["backend"] {
-			return fmt.Errorf("-backend %q has no effect with -engine census (the aggregate engine has no per-node sampling to select); drop -backend or pick a per-node engine", *backend)
-		}
-		if set["threads"] {
-			return fmt.Errorf("-threads has no effect with -engine census (the aggregate engine has no per-node sampling to parallelize); use -workers for trial parallelism")
-		}
-	}
-	if set["threads"] && *backend != "parallel" {
-		return fmt.Errorf("-threads only applies to -backend parallel, got backend %q (use -workers for trial parallelism)", *backend)
 	}
 	cfg := sim.Config{Seed: *seed, Quick: *quick, Workers: *workers, Backend: *backend, Engine: *engine,
 		Threads: *threads, LawQuant: *lawQuant, CensusTol: *censusTol}
@@ -92,24 +105,26 @@ func run(args []string, out io.Writer) error {
 		exps = []sim.Experiment{e}
 	}
 
-	// The census knobs reach census-engine trials only: protocol trials
-	// under -engine census, and the sweep-driven E21/E22 (census
-	// regardless of -engine). Any other combination would silently
-	// no-op the knobs — reject it against the resolved experiment set.
-	if (set["law-quant"] || set["census-tol"]) && proc != model.ProcessCensus {
-		if set["engine"] {
-			return fmt.Errorf("-law-quant/-census-tol apply to the census engine only, got -engine %q; drop one of the two flags", *engine)
+	// Reject contradictory flag combinations via the shared table
+	// (internal/core/flags.go). The census knobs reach census-engine
+	// trials only: protocol trials under -engine census, and the
+	// sweep-driven E21/E22 (census regardless of -engine, unless an
+	// explicit -engine override signals per-node intent).
+	sweepDriven := false
+	for _, e := range exps {
+		if e.ID == "E21" || e.ID == "E22" {
+			sweepDriven = true
+			break
 		}
-		sweepDriven := false
-		for _, e := range exps {
-			if e.ID == "E21" || e.ID == "E22" {
-				sweepDriven = true
-				break
-			}
-		}
-		if !sweepDriven {
-			return fmt.Errorf("-law-quant/-census-tol would have no effect: experiment %s runs per-node trials under the default engine (add -engine census, or run the sweep-driven E21/E22)", *runID)
-		}
+	}
+	state := core.FlagState{
+		Set:          set,
+		CensusEngine: proc == model.ProcessCensus,
+		Backend:      *backend,
+		SweepDriven:  sweepDriven && !set["engine"],
+	}
+	if err := core.CheckFlags(state, core.FlagUniverses["experiments"]); err != nil {
+		return err
 	}
 
 	var reports []*sim.Report

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"flag"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/core"
 )
 
 func TestRunSingleExperimentQuick(t *testing.T) {
@@ -128,5 +131,30 @@ func TestRunRejectsContradictoryFlags(t *testing.T) {
 	}
 	if err := run([]string{"-run", "E21", "-quick", "-law-quant", "1e-3"}, io.Discard); err != nil {
 		t.Fatalf("E21 with -law-quant rejected: %v", err)
+	}
+}
+
+// TestFlagUniverseMatches: the binary's registered flag set is
+// exactly the universe declared in core.FlagUniverses["experiments"], so a
+// new flag cannot ship without classifying its interactions in the
+// shared rejection table (see internal/core/flags.go).
+func TestFlagUniverseMatches(t *testing.T) {
+	fs := flag.NewFlagSet("experiments", flag.ContinueOnError)
+	_ = registerFlags(fs)
+	got := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { got[f.Name] = true })
+	want := map[string]bool{}
+	for _, name := range core.FlagUniverses["experiments"] {
+		want[name] = true
+	}
+	for name := range got {
+		if !want[name] {
+			t.Errorf("flag -%s is registered but missing from core.FlagUniverses[%q]", name, "experiments")
+		}
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("core.FlagUniverses[%q] lists -%s but the binary does not register it", "experiments", name)
+		}
 	}
 }

@@ -1,0 +1,107 @@
+// nrlint is the repo's project-specific multichecker: it runs the
+// internal/analyzers suite (determinism, overflow, budget, rngfork)
+// over every package of the module and fails when any finding
+// survives the //nrlint:allow suppression filter — including policy
+// findings for bare (unjustified) suppressions. `make lint` and CI
+// run it; see DESIGN.md "Statically enforced contracts".
+//
+// Usage:
+//
+//	nrlint [-run determinism,overflow] [-list] [-v] [dir ...]
+//
+// With no directories it lints the whole module containing the
+// working directory. Exit status: 0 clean, 1 findings, 2 load or
+// internal error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"github.com/gossipkit/noisyrumor/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, out, errOut io.Writer) int {
+	fs := flag.NewFlagSet("nrlint", flag.ContinueOnError)
+	runList := fs.String("run", "", "comma-separated analyzer subset (default: all)")
+	list := fs.Bool("list", false, "list analyzers and exit")
+	verbose := fs.Bool("v", false, "report per-package progress and suppressed-finding counts")
+	fs.SetOutput(errOut)
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range analyzers.All() {
+			fmt.Fprintf(out, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	suite := analyzers.All()
+	if *runList != "" {
+		suite = nil
+		for _, name := range strings.Split(*runList, ",") {
+			a := analyzers.ByName(strings.TrimSpace(name))
+			if a == nil {
+				fmt.Fprintf(errOut, "nrlint: unknown analyzer %q (try -list)\n", name)
+				return 2
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintln(errOut, "nrlint:", err)
+		return 2
+	}
+	loader, err := analyzers.NewLoader(cwd)
+	if err != nil {
+		fmt.Fprintln(errOut, "nrlint:", err)
+		return 2
+	}
+	dirs := fs.Args()
+	if len(dirs) == 0 || (len(dirs) == 1 && (dirs[0] == "./..." || dirs[0] == "...")) {
+		dirs, err = analyzers.PackageDirs(loader.ModuleRoot)
+		if err != nil {
+			fmt.Fprintln(errOut, "nrlint:", err)
+			return 2
+		}
+	}
+
+	findings := 0
+	for _, dir := range dirs {
+		pkg, diags, err := loader.Run(dir, suite)
+		if err != nil {
+			fmt.Fprintln(errOut, "nrlint:", err)
+			return 2
+		}
+		raw := len(diags)
+		diags = analyzers.NewSuppressor(loader.Fset, pkg.Files).Filter(diags,
+			func(name string) bool { return analyzers.ByName(name) != nil })
+		if *verbose {
+			fmt.Fprintf(errOut, "nrlint: %s: %d finding(s), %d suppressed\n", pkg.Path, len(diags), raw-len(diags))
+		}
+		for _, d := range diags {
+			p := loader.Fset.Position(d.Pos)
+			rel, err := filepath.Rel(loader.ModuleRoot, p.Filename)
+			if err != nil {
+				rel = p.Filename
+			}
+			fmt.Fprintf(out, "%s:%d:%d: [%s] %s\n", rel, p.Line, p.Column, d.Analyzer, d.Message)
+			findings++
+		}
+	}
+	if findings > 0 {
+		fmt.Fprintf(errOut, "nrlint: %d finding(s)\n", findings)
+		return 1
+	}
+	return 0
+}

@@ -1,0 +1,55 @@
+package main
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errOut); code != 0 {
+		t.Fatalf("nrlint -list exited %d: %s", code, errOut.String())
+	}
+	for _, name := range []string{"determinism", "overflow", "budget", "rngfork"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("-list output missing %s:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzerRejected(t *testing.T) {
+	var out, errOut bytes.Buffer
+	if code := run([]string{"-run", "nosuch"}, &out, &errOut); code != 2 {
+		t.Fatalf("nrlint -run nosuch exited %d, want 2", code)
+	}
+}
+
+// TestFixtureFindingsFailTheRun drives the binary's pipeline end to
+// end over the overflow fixture: the deliberate violations must
+// surface as findings and exit status 1 — the acceptance property
+// that reintroducing the PR-4 wrap pattern makes `make lint` fail.
+func TestFixtureFindingsFailTheRun(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "analyzers", "testdata", "src", "overflow")
+	var out, errOut bytes.Buffer
+	code := run([]string{"-run", "overflow", dir}, &out, &errOut)
+	if code != 1 {
+		t.Fatalf("nrlint on the overflow fixture exited %d, want 1 (stderr: %s)", code, errOut.String())
+	}
+	for _, frag := range []string{"narrowing conversion", "unchecked int64"} {
+		if !strings.Contains(out.String(), frag) {
+			t.Errorf("findings missing %q:\n%s", frag, out.String())
+		}
+	}
+}
+
+// TestCleanPackagePasses runs the full suite over a package that must
+// stay clean (internal/checked, the blessed guard helpers).
+func TestCleanPackagePasses(t *testing.T) {
+	dir := filepath.Join("..", "..", "internal", "checked")
+	var out, errOut bytes.Buffer
+	if code := run([]string{dir}, &out, &errOut); code != 0 {
+		t.Fatalf("nrlint on internal/checked exited %d:\n%s%s", code, out.String(), errOut.String())
+	}
+}

@@ -29,6 +29,7 @@ import (
 	"strings"
 
 	"github.com/gossipkit/noisyrumor/internal/census"
+	"github.com/gossipkit/noisyrumor/internal/core"
 	"github.com/gossipkit/noisyrumor/internal/sweep"
 )
 
@@ -83,21 +84,16 @@ func registerCommon(fs *flag.FlagSet) commonFlags {
 	}
 }
 
-// validate rejects contradictory flag combinations instead of
-// silently ignoring the losing flag — the census-only knobs have no
-// effect on the per-node cross-check engines.
+// validate rejects contradictory flag combinations via the shared
+// table (internal/core/flags.go) instead of silently ignoring the
+// losing flag — the census-only knobs have no effect on the per-node
+// cross-check engines. Mode-specific flags are pure value parameters
+// and stay outside the table.
 func (c commonFlags) validate() error {
 	set := map[string]bool{}
 	c.fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	if engineName(*c.engine) != "" {
-		if set["law-quant"] {
-			return fmt.Errorf("-law-quant applies to the census engine only, got -engine %q; drop one of the two flags", *c.engine)
-		}
-		if set["census-tol"] {
-			return fmt.Errorf("-census-tol applies to the census engine only, got -engine %q; drop one of the two flags", *c.engine)
-		}
-	}
-	return nil
+	state := core.FlagState{Set: set, CensusEngine: engineName(*c.engine) == ""}
+	return core.CheckFlags(state, core.FlagUniverses["sweep"])
 }
 
 // runner builds the sweep runner, sharing one Stage-2 law cache

@@ -1,11 +1,14 @@
 package main
 
 import (
+	"flag"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/core"
 )
 
 func TestRunGridSmoke(t *testing.T) {
@@ -153,6 +156,31 @@ func TestParseInt64sScientific(t *testing.T) {
 	for _, bad := range []string{"1.5", "1e20", ""} {
 		if _, err := parseInt64s(bad); err == nil {
 			t.Fatalf("parseInt64s(%q) accepted", bad)
+		}
+	}
+}
+
+// TestFlagUniverseMatches: the binary's registered flag set is
+// exactly the universe declared in core.FlagUniverses["sweep"], so a
+// new flag cannot ship without classifying its interactions in the
+// shared rejection table (see internal/core/flags.go).
+func TestFlagUniverseMatches(t *testing.T) {
+	fs := flag.NewFlagSet("sweep", flag.ContinueOnError)
+	_ = registerCommon(fs)
+	got := map[string]bool{}
+	fs.VisitAll(func(f *flag.Flag) { got[f.Name] = true })
+	want := map[string]bool{}
+	for _, name := range core.FlagUniverses["sweep"] {
+		want[name] = true
+	}
+	for name := range got {
+		if !want[name] {
+			t.Errorf("flag -%s is registered but missing from core.FlagUniverses[%q]", name, "sweep")
+		}
+	}
+	for name := range want {
+		if !got[name] {
+			t.Errorf("core.FlagUniverses[%q] lists -%s but the binary does not register it", "sweep", name)
 		}
 	}
 }

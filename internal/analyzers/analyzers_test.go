@@ -1,0 +1,61 @@
+package analyzers
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+// Each analyzer's fixture package demonstrates at least one caught
+// violation (`// want`) and one deliberately-allowed negative case
+// (sorted keys, round-trip guards, transfers, justified allows); see
+// testdata/src/<analyzer>/fixture.go.
+
+func TestDeterminismFixture(t *testing.T) {
+	RunFixture(t, []*Analyzer{DeterminismAnalyzer}, filepath.Join("testdata", "src", "determinism"))
+}
+
+func TestOverflowFixture(t *testing.T) {
+	RunFixture(t, []*Analyzer{OverflowAnalyzer}, filepath.Join("testdata", "src", "overflow"))
+}
+
+func TestBudgetFixture(t *testing.T) {
+	RunFixture(t, []*Analyzer{BudgetAnalyzer}, filepath.Join("testdata", "src", "budget"))
+}
+
+func TestRngForkFixture(t *testing.T) {
+	RunFixture(t, []*Analyzer{RngForkAnalyzer}, filepath.Join("testdata", "src", "rngfork"))
+}
+
+func TestSuiteRegistry(t *testing.T) {
+	all := All()
+	if len(all) != 4 {
+		t.Fatalf("All() = %d analyzers, want 4", len(all))
+	}
+	for _, name := range []string{"budget", "determinism", "overflow", "rngfork"} {
+		if ByName(name) == nil {
+			t.Errorf("ByName(%q) = nil", name)
+		}
+	}
+	if ByName("nosuch") != nil {
+		t.Error("ByName(nosuch) should be nil")
+	}
+}
+
+// TestUnannotatedPackageIsExempt pins the opt-in rule: the
+// determinism/overflow/rngfork passes keep quiet on packages without
+// the //nrlint:deterministic directive (the budget pass is the
+// repo-wide exception, exercised by its fixture).
+func TestUnannotatedPackageIsExempt(t *testing.T) {
+	dir := filepath.Join("testdata", "src", "unannotated")
+	loader, err := NewLoader(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, diags, err := loader.Run(dir, []*Analyzer{DeterminismAnalyzer, OverflowAnalyzer, RngForkAnalyzer})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Fatalf("unannotated package got %d diagnostics, want 0: %v", len(diags), diags)
+	}
+}

@@ -1,0 +1,170 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RngForkAnalyzer enforces the stream-forking discipline that makes
+// worker fan-outs bit-identical inside //nrlint:deterministic
+// packages. The repo's contract (internal/rng, DESIGN.md §2): a
+// parent stream that fans out children via Fork is a fork trunk — it
+// must not also feed data draws afterwards, because every Fork
+// advances the parent, so a later draw's value depends on how many
+// children were forked (a worker-count-shaped dependency). And fork
+// keys must be stable indices, never values produced by map
+// iteration. Flags:
+//
+//   - a draw method (Uint64, Intn, Float64, …) called on a Rand
+//     variable after a Fork on the same variable, lexically later in
+//     the same function — reorder so all data draws precede the fan
+//     fork, or fork a dedicated child for the extra draws;
+//   - a Rand variable passed as a call argument after a Fork on it
+//     (the callee may draw);
+//   - Fork/ForkSeed keyed by the loop variables of a map range —
+//     iteration order is randomized, so the key↔stream pairing
+//     changes run to run.
+var RngForkAnalyzer = &Analyzer{
+	Name: "rngfork",
+	Doc:  "flag parent rng reuse after Fork and fork keys derived from map-iteration variables in //nrlint:deterministic packages",
+	Run:  runRngFork,
+}
+
+// drawMethods advance a Rand stream's state with a data draw.
+var drawMethods = map[string]bool{
+	"Uint64": true, "Uint64n": true, "Intn": true, "Float64": true,
+	"Bernoulli": true, "NormFloat64": true, "ExpFloat64": true,
+	"Shuffle": true, "Perm": true,
+}
+
+func runRngFork(pass *Pass) error {
+	if !HasDeterministicDirective(pass.Files) {
+		return nil
+	}
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					checkForkThenDraw(pass, n.Body)
+				}
+			case *ast.RangeStmt:
+				checkMapRangeForkKey(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkForkThenDraw scans one function body (including nested
+// literals, which share the enclosing variables) for draws on a Rand
+// object lexically after the first Fork on that object.
+func checkForkThenDraw(pass *Pass, body *ast.BlockStmt) {
+	forkPos := map[types.Object]ast.Node{} // earliest Fork per Rand object
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "Fork" {
+			return true
+		}
+		obj := randObject(pass, sel.X)
+		if obj == nil {
+			return true
+		}
+		if prev, seen := forkPos[obj]; !seen || call.Pos() < prev.Pos() {
+			forkPos[obj] = call
+		}
+		return true
+	})
+	if len(forkPos) == 0 {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if sel, ok := call.Fun.(*ast.SelectorExpr); ok && drawMethods[sel.Sel.Name] {
+			if obj := randObject(pass, sel.X); obj != nil {
+				if fork, seen := forkPos[obj]; seen && call.Pos() > fork.Pos() {
+					pass.Reportf(call.Pos(), "draw %s.%s after Fork on the same stream: the value now depends on how many children were forked (worker-count-shaped); draw before forking, or fork a dedicated child for it", objName(obj), sel.Sel.Name)
+				}
+			}
+		}
+		for _, arg := range call.Args {
+			if obj := randObject(pass, arg); obj != nil {
+				if fork, seen := forkPos[obj]; seen && arg.Pos() > fork.Pos() {
+					pass.Reportf(arg.Pos(), "parent stream %s passed to %s after Fork: the callee's draws depend on the fork count; pass a forked child instead", objName(obj), calleeName(call))
+				}
+			}
+		}
+		return true
+	})
+}
+
+// checkMapRangeForkKey flags Fork/ForkSeed calls inside a map range
+// whose arguments reference the range's loop variables.
+func checkMapRangeForkKey(pass *Pass, rs *ast.RangeStmt) {
+	if !isMapType(pass.TypeOf(rs.X)) {
+		return
+	}
+	loopVars := map[types.Object]bool{}
+	for _, e := range []ast.Expr{rs.Key, rs.Value} {
+		if id, ok := e.(*ast.Ident); ok && id.Name != "_" {
+			if obj := pass.Info.ObjectOf(id); obj != nil {
+				loopVars[obj] = true
+			}
+		}
+	}
+	if len(loopVars) == 0 {
+		return
+	}
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		name := calleeBase(call)
+		if name != "Fork" && name != "ForkSeed" {
+			return true
+		}
+		for _, arg := range call.Args {
+			usesLoopVar := false
+			ast.Inspect(arg, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && loopVars[pass.Info.ObjectOf(id)] {
+					usesLoopVar = true
+				}
+				return true
+			})
+			if usesLoopVar {
+				pass.Reportf(call.Pos(), "%s keyed by a map-iteration variable: map order is randomized, so the key↔stream pairing changes run to run; iterate sorted keys or key by a stable index", name)
+			}
+		}
+		return true
+	})
+}
+
+// randObject resolves e to the object of a Rand-typed variable or
+// field (name-based on the type so fixtures stay self-contained).
+func randObject(pass *Pass, e ast.Expr) types.Object {
+	var id *ast.Ident
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		id = e
+	case *ast.SelectorExpr:
+		id = e.Sel
+	default:
+		return nil
+	}
+	obj := pass.Info.ObjectOf(id)
+	if obj == nil || namedTypeName(obj.Type()) != "Rand" {
+		return nil
+	}
+	return obj
+}
+
+func objName(obj types.Object) string { return obj.Name() }

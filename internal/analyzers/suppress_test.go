@@ -1,0 +1,89 @@
+package analyzers
+
+import (
+	goast "go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc parses inline source and returns the pieces a Suppressor
+// test needs: the suppressor, and a Pos on each requested line.
+func parseSrc(t *testing.T, src string) (*Suppressor, *token.FileSet, func(line int) token.Pos) {
+	t.Helper()
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tf := fset.File(f.Pos())
+	return NewSuppressor(fset, []*goast.File{f}), fset, func(line int) token.Pos { return tf.LineStart(line) }
+}
+
+func known(name string) bool { return ByName(name) != nil }
+
+func TestSuppressorJustifiedAllowDropsFinding(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\t_ = 1 //nrlint:allow determinism -- order-free by construction\n}\n"
+	s, _, pos := parseSrc(t, src)
+	diags := []Diagnostic{{Pos: pos(4), Analyzer: "determinism", Message: "range over map"}}
+	out := s.Filter(diags, known)
+	if len(out) != 0 {
+		t.Fatalf("justified allow kept %d diagnostics: %v", len(out), out)
+	}
+}
+
+func TestSuppressorCoversNextLine(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\t//nrlint:allow overflow -- bounded by n\n\t_ = 1\n}\n"
+	s, _, pos := parseSrc(t, src)
+	out := s.Filter([]Diagnostic{{Pos: pos(5), Analyzer: "overflow", Message: "unchecked"}}, known)
+	if len(out) != 0 {
+		t.Fatalf("standalone allow did not cover the next line: %v", out)
+	}
+}
+
+func TestSuppressorWrongAnalyzerKeepsFinding(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\t_ = 1 //nrlint:allow overflow -- wrong pass\n}\n"
+	s, _, pos := parseSrc(t, src)
+	out := s.Filter([]Diagnostic{{Pos: pos(4), Analyzer: "determinism", Message: "range over map"}}, known)
+	if len(out) != 1 {
+		t.Fatalf("allow for a different analyzer suppressed the finding: %v", out)
+	}
+}
+
+func TestSuppressorBareAllowIsAFinding(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\t_ = 1 //nrlint:allow determinism\n}\n"
+	s, _, pos := parseSrc(t, src)
+	out := s.Filter([]Diagnostic{{Pos: pos(4), Analyzer: "determinism", Message: "range over map"}}, known)
+	// The bare allow must NOT suppress, and must add a policy finding.
+	var sawOriginal, sawPolicy bool
+	for _, d := range out {
+		if d.Analyzer == "determinism" {
+			sawOriginal = true
+		}
+		if d.Analyzer == "nrlint" && strings.Contains(d.Message, "bare suppression") {
+			sawPolicy = true
+		}
+	}
+	if !sawOriginal || !sawPolicy {
+		t.Fatalf("bare allow handling wrong, got %v", out)
+	}
+}
+
+func TestSuppressorUnknownAnalyzerIsAFinding(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\t_ = 1 //nrlint:allow determinsm -- typo\n}\n"
+	s, _, _ := parseSrc(t, src)
+	out := s.Filter(nil, known)
+	if len(out) != 1 || !strings.Contains(out[0].Message, "unknown analyzer") {
+		t.Fatalf("typoed analyzer name not caught: %v", out)
+	}
+}
+
+func TestSuppressorEmptyNameListIsAFinding(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\t_ = 1 //nrlint:allow -- just because\n}\n"
+	s, _, _ := parseSrc(t, src)
+	out := s.Filter(nil, known)
+	if len(out) != 1 || !strings.Contains(out[0].Message, "names no analyzer") {
+		t.Fatalf("nameless allow not caught: %v", out)
+	}
+}

@@ -1,0 +1,75 @@
+// Package budget is the analysistest fixture for the budget
+// analyzer: discarded budget-carrying values and raw overwrites of
+// budget accumulators, with transfers, resets and += as negative
+// cases. The local Budget/ErrorBudget shapes mirror census.Budget
+// and the Engine accessors, so the fixture stays self-contained.
+package budget
+
+// Budget mirrors census.Budget.
+type Budget float64
+
+type engine struct {
+	budget  float64
+	qbudget float64
+}
+
+func (e *engine) ErrorBudget() Budget { return Budget(e.budget) }
+func (e *engine) QuantBudget() Budget { return Budget(e.qbudget) }
+
+type result struct {
+	ErrorBudget Budget
+	QuantBudget Budget
+}
+
+func runTrial() (int, Budget) { return 0, 0 }
+
+func discardCallPositive(e *engine) {
+	e.ErrorBudget() // want `budget-carrying result of e.ErrorBudget is discarded`
+}
+
+func discardBlankPositive(e *engine) {
+	_ = e.QuantBudget() // want `budget value discarded into _`
+}
+
+func discardTuplePositive() int {
+	rounds, _ := runTrial() // want `budget result 1 of runTrial is discarded into _`
+	return rounds
+}
+
+func overwritePositive(res *result) {
+	res.ErrorBudget = 0.5 // want `plain = overwrites budget accumulator res.ErrorBudget`
+}
+
+func overwriteRawFloatPositive(e *engine, res *result, x float64) {
+	_ = e
+	res.QuantBudget = Budget(2 * x) // explicit conversion is deliberate: no finding
+	var raw float64
+	e.budget = raw // want `plain = overwrites budget accumulator e.budget`
+}
+
+func transferNegative(e *engine, res *result) {
+	res.ErrorBudget = e.ErrorBudget() // snapshot transfer: no finding
+	res.QuantBudget = e.QuantBudget() + res.QuantBudget
+}
+
+func accumulateNegative(e *engine, cert float64) {
+	e.budget += cert // += is the contract: no finding
+	e.qbudget += cert
+}
+
+func resetNegative(e *engine, res *result) {
+	e.budget = 0 // zeroing is reset: no finding
+	e.qbudget = 0
+	res.ErrorBudget = 0
+}
+
+func allowedDiscardNegative(e *engine) {
+	// The warm-up trial's budget is re-accrued by the measured run.
+	//nrlint:allow budget -- warm-up trial, budget re-accrued by the measured run
+	_ = e.ErrorBudget()
+}
+
+func propagateNegative() (int, Budget) {
+	rounds, b := runTrial()
+	return rounds, b
+}

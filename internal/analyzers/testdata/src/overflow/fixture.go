@@ -1,0 +1,59 @@
+// Package overflow is the analysistest fixture for the overflow
+// analyzer: int64 counter arithmetic and narrowing conversions, with
+// the blessed guard shapes as negative cases.
+//
+//nrlint:deterministic
+package overflow
+
+const shift = int64(1) << 40 // constant-folded: compiler checks, no finding
+
+func narrowPositive(n int64) int {
+	return int(n) // want `narrowing conversion int\(…\) from int64 truncates silently`
+}
+
+func narrowInt32Positive(n int64) int32 {
+	return int32(n) // want `narrowing conversion int32\(…\) from int64 truncates silently`
+}
+
+func narrowGuardNegative(n int64) (int, bool) {
+	if int64(int(n)) != n { // round-trip guard shape: no finding
+		return 0, false
+	}
+	//nrlint:allow overflow -- round-trip proven on the branch above
+	return int(n), true
+}
+
+func widenNegative(n int32) int64 {
+	return int64(n) // widening: no finding
+}
+
+func addPositive(a, b int64) int64 {
+	return a + b // want `unchecked int64 \+ can wrap silently`
+}
+
+func mulPositive(c int64, rounds int) int64 {
+	return c * int64(rounds) // want `unchecked int64 \* can wrap silently`
+}
+
+func addAssignPositive(total, h int64) int64 {
+	total += h // want `unchecked int64 \+= can wrap silently`
+	return total
+}
+
+func intArithNegative(a, b int) int {
+	return a + b*b // plain int is not counter-typed: no finding
+}
+
+func floatArithNegative(a, b float64) float64 {
+	return a + b // floats accumulate error, not wraps: no finding
+}
+
+func allowedBoundedNegative(counts []int64, rounds int64) int64 {
+	total := int64(0)
+	for _, c := range counts {
+		// Each c ≤ n and len ≤ k, so the sum is ≤ k·n ≪ 2⁶³.
+		//nrlint:allow overflow -- bounded by k·n per the engine's New guard
+		total += c * rounds
+	}
+	return total
+}

@@ -1,0 +1,83 @@
+// Package rngfork is the analysistest fixture for the rngfork
+// analyzer: parent-stream reuse after Fork and fork keys derived from
+// map iteration, with draw-before-fork and stable-index keys as
+// negative cases. The local Rand mirrors internal/rng.Rand's method
+// shapes so the fixture stays self-contained.
+//
+//nrlint:deterministic
+package rngfork
+
+type Rand struct{ state uint64 }
+
+func New(seed uint64) *Rand         { return &Rand{state: seed} }
+func ForkSeed(s, idx uint64) uint64 { return s ^ idx }
+func (r *Rand) Fork(i uint64) *Rand { return New(r.Uint64() ^ i) }
+func (r *Rand) Uint64() uint64      { r.state++; return r.state }
+func (r *Rand) Intn(n int) int      { return int(r.Uint64() % uint64(n)) }
+func (r *Rand) Float64() float64    { return float64(r.Uint64()) }
+
+func sample(r *Rand, n int) int { return r.Intn(n) }
+
+func drawAfterForkPositive(r *Rand, workers int) []*Rand {
+	kids := make([]*Rand, workers)
+	for i := range kids {
+		kids[i] = r.Fork(uint64(i))
+	}
+	jitter := r.Float64() // want `draw r.Float64 after Fork on the same stream`
+	_ = jitter
+	return kids
+}
+
+func passAfterForkPositive(r *Rand) int {
+	child := r.Fork(0)
+	_ = child
+	return sample(r, 10) // want `parent stream r passed to sample after Fork`
+}
+
+func drawBeforeForkNegative(r *Rand, workers int) []*Rand {
+	jitter := r.Float64() // all data draws precede the fan fork: no finding
+	_ = jitter
+	kids := make([]*Rand, workers)
+	for i := range kids {
+		kids[i] = r.Fork(uint64(i))
+	}
+	return kids
+}
+
+func childUseNegative(r *Rand) int {
+	child := r.Fork(7)
+	return child.Intn(10) // the child is not the parent: no finding
+}
+
+func mapKeyForkPositive(r *Rand, streams map[uint64]int) []*Rand {
+	var kids []*Rand
+	//nrlint:allow determinism -- exercised by the rngfork fixture, not this analyzer
+	for id := range streams {
+		kids = append(kids, r.Fork(id)) // want `Fork keyed by a map-iteration variable`
+	}
+	return kids
+}
+
+func mapKeyForkSeedPositive(seed uint64, streams map[string]uint64) []uint64 {
+	var out []uint64
+	//nrlint:allow determinism -- exercised by the rngfork fixture, not this analyzer
+	for _, v := range streams {
+		out = append(out, ForkSeed(seed, v)) // want `ForkSeed keyed by a map-iteration variable`
+	}
+	return out
+}
+
+func indexKeyForkNegative(r *Rand, ids []uint64) []*Rand {
+	kids := make([]*Rand, len(ids))
+	for i := range ids {
+		kids[i] = r.Fork(uint64(i)) // stable slice index: no finding
+	}
+	return kids
+}
+
+func allowedReuseNegative(r *Rand) float64 {
+	_ = r.Fork(1)
+	// The parent is retired after this one diagnostic draw.
+	//nrlint:allow rngfork -- single post-fork draw, fork count fixed at 1 by construction
+	return r.Float64()
+}

@@ -1,0 +1,14 @@
+// Package unannotated has no //nrlint:deterministic directive: the
+// opt-in analyzers must stay quiet here even though every pattern
+// they flag appears below.
+package unannotated
+
+func mapRange(m map[string]int64) int64 {
+	var total int64
+	for _, v := range m {
+		total += v
+	}
+	return total
+}
+
+func narrow(n int64) int { return int(n) }

@@ -55,12 +55,19 @@
 // stream differently from every per-node backend, so they are
 // statistically equivalent to per-node process-P runs (pinned by
 // chi-square tests), not bitwise equal.
+//
+// The package declares the nrlint determinism contract: results are
+// a pure function of (spec, seed) at any worker count, enforced by
+// `make lint` (see DESIGN.md "Statically enforced contracts").
+//
+//nrlint:deterministic
 package census
 
 import (
 	"fmt"
 	"math"
 
+	"github.com/gossipkit/noisyrumor/internal/checked"
 	"github.com/gossipkit/noisyrumor/internal/dist"
 	"github.com/gossipkit/noisyrumor/internal/noise"
 	"github.com/gossipkit/noisyrumor/internal/rng"
@@ -224,6 +231,7 @@ func (e *Engine) Init(counts []int64) error {
 		if c > e.n-total {
 			return fmt.Errorf("census: Init counts sum beyond n=%d", e.n)
 		}
+		//nrlint:allow overflow -- the pre-add guard above bounds total+c by n; stricter than Add64
 		total += c
 	}
 	copy(e.counts, counts)
@@ -333,16 +341,15 @@ func (e *Engine) noiseSplit(rounds int) (int64, error) {
 		return 0, fmt.Errorf("census: phase with %d rounds", rounds)
 	}
 	for i, c := range e.counts {
-		if rounds > 0 && c > math.MaxInt64/int64(rounds) {
+		sent, ok := checked.Mul64(c, int64(rounds))
+		if !ok {
 			return 0, fmt.Errorf("census: phase budget %d pushers × %d rounds overflows int64", c, rounds)
 		}
-		e.sent[i] = c * int64(rounds)
+		e.sent[i] = sent
 	}
-	total := int64(0)
-	for _, h := range e.sent {
-		if total += h; total < 0 {
-			return 0, fmt.Errorf("census: phase budget overflows int64")
-		}
+	total, ok := checked.Sum64(e.sent)
+	if !ok {
+		return 0, fmt.Errorf("census: phase budget overflows int64")
 	}
 	if total >= 1<<53 {
 		// Beyond exact float64 integers the multinomial splits would
@@ -385,6 +392,7 @@ func (e *Engine) Stage1Phase(rounds int) error {
 	trans := e.trans[:e.k+1]
 	dist.SampleMultinomial64(e.r, e.und, probs, trans)
 	for j := 0; j < e.k; j++ {
+		//nrlint:allow overflow -- trans partitions e.und, so counts[j]+trans[j] ≤ n
 		e.counts[j] += trans[j]
 	}
 	e.und = trans[e.k]
@@ -443,6 +451,7 @@ func (e *Engine) Stage2Phase(rounds, sampleSize int) error {
 		probs[i] += 1 - pUp
 		dist.SampleMultinomial64(e.r, c, probs, trans)
 		for j, v := range trans {
+			//nrlint:allow overflow -- trans rows partition Σcounts, so Σnext ≤ n
 			next[j] += v
 		}
 	}
@@ -457,6 +466,7 @@ func (e *Engine) Stage2Phase(rounds, sampleSize int) error {
 		probs[e.k] = 1 - pUp
 		dist.SampleMultinomial64(e.r, e.und, probs, trans)
 		for j := 0; j < e.k; j++ {
+			//nrlint:allow overflow -- trans partitions e.und, so Σnext stays ≤ n
 			next[j] += trans[j]
 		}
 		e.und = trans[e.k]

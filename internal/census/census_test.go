@@ -1,7 +1,9 @@
 package census_test
 
 import (
+	"math"
 	"reflect"
+	"strings"
 	"testing"
 
 	"github.com/gossipkit/noisyrumor/internal/census"
@@ -311,6 +313,17 @@ func TestEngineGuards(t *testing.T) {
 	huge := newEngine(t, 1<<55, nm, 1, []int64{1 << 54, 1 << 54, 0})
 	if err := huge.Stage1Phase(1 << 12); err == nil {
 		t.Error("Stage1Phase accepted a budget beyond exact float64 range")
+	}
+	// The PR-4 wrap class, now rejected by checked.Mul64/Sum64 rather
+	// than ad-hoc guards: a per-row counts×rounds product beyond int64,
+	// and per-row products that fit while their total wraps.
+	wrapRow := newEngine(t, math.MaxInt64, nm, 1, []int64{1<<62 + 1, 0, 0})
+	if err := wrapRow.Stage1Phase(4); err == nil || !strings.Contains(err.Error(), "overflows int64") {
+		t.Errorf("Stage1Phase row wrap = %v; want int64 overflow error", err)
+	}
+	wrapSum := newEngine(t, math.MaxInt64, nm, 1, []int64{1<<61 + 1, 1<<61 + 1, 0})
+	if err := wrapSum.Stage1Phase(2); err == nil || !strings.Contains(err.Error(), "overflows int64") {
+		t.Errorf("Stage1Phase total wrap = %v; want int64 overflow error", err)
 	}
 	if err := e.SetTolerance(0); err == nil {
 		t.Error("SetTolerance accepted 0")

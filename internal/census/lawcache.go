@@ -114,10 +114,12 @@ func (c *LawCache) DroppedStores() int64 {
 // HitRate returns hits/(hits+misses), or 0 before the first lookup.
 func (c *LawCache) HitRate() float64 {
 	h, m := c.Stats()
-	if h+m == 0 {
+	//nrlint:allow overflow -- hit/miss counters increment by 1 per lookup; wrapping needs 2⁶² lookups
+	t := h + m
+	if t == 0 {
 		return 0
 	}
-	return float64(h) / float64(h+m)
+	return float64(h) / float64(t)
 }
 
 // Len returns the number of stored laws.
@@ -141,6 +143,7 @@ func quantizeQ(q []float64, eta float64, qhat []float64, idx []int64) (dtv float
 	for j, p := range q {
 		m := int64(math.Round(p / eta))
 		idx[j] = m
+		//nrlint:allow overflow -- m ≤ round(1/η) ≤ 1/MinLawQuant = 10¹², so Σm ≤ k·10¹² ≪ 2⁶³
 		sum += m
 	}
 	if sum <= 0 {
@@ -165,6 +168,7 @@ func lawKey(buf []byte, idx []int64, ell int, tol, eta float64) []byte {
 	buf = binary.AppendUvarint(buf, math.Float64bits(tol))
 	buf = binary.AppendUvarint(buf, math.Float64bits(eta))
 	for _, m := range idx {
+		//nrlint:allow overflow -- lattice indices round a distribution q ≥ 0, so m ≥ 0 and uint64 is exact
 		buf = binary.AppendUvarint(buf, uint64(m))
 	}
 	return buf

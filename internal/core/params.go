@@ -20,6 +20,12 @@
 //
 // The protocol is oblivious: it runs its full schedule regardless of
 // the system state, exactly as analyzed in the paper.
+//
+// The package declares the nrlint determinism contract: results are
+// a pure function of (spec, seed) at any worker count, enforced by
+// `make lint` (see DESIGN.md "Statically enforced contracts").
+//
+//nrlint:deterministic
 package core
 
 import (

@@ -5,6 +5,7 @@ import (
 	"math"
 	"strings"
 
+	"github.com/gossipkit/noisyrumor/internal/checked"
 	"github.com/gossipkit/noisyrumor/internal/dist"
 	"github.com/gossipkit/noisyrumor/internal/noise"
 	"github.com/gossipkit/noisyrumor/internal/rng"
@@ -236,10 +237,10 @@ func (e *Engine) checkPhaseBudget(ops []Opinion, rounds int) error {
 	if opinionated == 0 || rounds == 0 {
 		return nil
 	}
-	if int64(rounds) > math.MaxInt64/int64(opinionated) {
+	budget, ok := checked.Mul64(int64(opinionated), int64(rounds))
+	if !ok {
 		return fmt.Errorf("model: phase budget %d pushers × %d rounds overflows int64", opinionated, rounds)
 	}
-	budget := int64(opinionated) * int64(rounds)
 	if e.proc != ProcessP && budget <= math.MaxInt32 {
 		return nil
 	}

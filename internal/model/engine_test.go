@@ -2,6 +2,7 @@ package model
 
 import (
 	"math"
+	"strings"
 	"testing"
 
 	"github.com/gossipkit/noisyrumor/internal/dist"
@@ -55,6 +56,17 @@ func TestRunPhaseValidation(t *testing.T) {
 	}
 	if _, err := e.RunPhase(make([]Opinion, 10), -1); err == nil {
 		t.Fatal("negative rounds accepted")
+	}
+}
+
+// TestRunPhaseBudgetWrap: an opinionated×rounds product beyond int64
+// must be rejected by the checked multiply, not silently wrapped (the
+// PR-4 overflow class, now enforced by nrlint's overflow pass).
+func TestRunPhaseBudgetWrap(t *testing.T) {
+	e := newTestEngine(t, 4, 2, 0, ProcessO, 1)
+	ops := []Opinion{0, 1, 0, 1}
+	if _, err := e.RunPhase(ops, math.MaxInt); err == nil || !strings.Contains(err.Error(), "overflows int64") {
+		t.Fatalf("RunPhase(4 opinionated, MaxInt rounds) = %v; want int64 overflow error", err)
 	}
 }
 

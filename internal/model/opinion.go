@@ -36,6 +36,12 @@
 // samples each phase's delivery counts in aggregate — exactly the same
 // distribution at a per-phase cost independent of the round count.
 // See backend.go.
+//
+// The package declares the nrlint determinism contract: results are
+// a pure function of (spec, seed) at any worker count, enforced by
+// `make lint` (see DESIGN.md "Statically enforced contracts").
+//
+//nrlint:deterministic
 package model
 
 import "fmt"

@@ -119,6 +119,7 @@ func Decades(lo, hi int) []int64 {
 			out = append(out, v)
 		}
 		if e < hi {
+			//nrlint:allow overflow -- hi ≤ 18 is validated above, so v ≤ 10¹⁸ < 2⁶³
 			v *= 10
 		}
 	}

@@ -43,6 +43,12 @@
 // (Runner.Cache, or a per-sweep private one) — reuse is invisible in
 // results by the engine's Reset contract, so the determinism
 // guarantees above survive unchanged.
+//
+// The package declares the nrlint determinism contract: results are
+// a pure function of (spec, seed) at any worker count, enforced by
+// `make lint` (see DESIGN.md "Statically enforced contracts").
+//
+//nrlint:deterministic
 package sweep
 
 import (
@@ -51,6 +57,7 @@ import (
 	"sync"
 
 	"github.com/gossipkit/noisyrumor/internal/census"
+	"github.com/gossipkit/noisyrumor/internal/checked"
 	"github.com/gossipkit/noisyrumor/internal/core"
 	"github.com/gossipkit/noisyrumor/internal/model"
 	"github.com/gossipkit/noisyrumor/internal/noise"
@@ -233,6 +240,7 @@ func InitialCounts(n int64, k int, delta float64) ([]int64, error) {
 	for i := range counts {
 		counts[i] = per
 	}
+	//nrlint:allow overflow -- lead ≤ n (δ ≤ 1) and per·k ≤ rest ≤ n, so counts[0] ends at per+lead+remainder ≤ n
 	counts[0] += lead + (rest - per*int64(k))
 	return counts, nil
 }
@@ -275,26 +283,28 @@ func runPerNodeTrial(p Point, nm *noise.Matrix, counts []int64, r *rng.Rand) tri
 	if proc == model.ProcessCensus {
 		return trialOut{err: fmt.Errorf("sweep: census engine reached the per-node path")}
 	}
-	if int64(int(p.N)) != p.N {
+	nInt, ok := checked.Int(p.N)
+	if !ok {
 		return trialOut{err: fmt.Errorf("sweep: n=%d exceeds the per-node engines' range; use the census engine", p.N)}
 	}
 	narrow := make([]int, len(counts))
 	for i, c := range counts {
-		if int64(int(c)) != c {
+		v, ok := checked.Int(c)
+		if !ok {
 			return trialOut{err: fmt.Errorf("sweep: count %d exceeds the per-node engines' range", c)}
 		}
-		narrow[i] = int(c)
+		narrow[i] = v
 	}
 	var initial []model.Opinion
 	if p.Delta == 0 {
-		initial, err = model.InitRumor(int(p.N), p.K, 0)
+		initial, err = model.InitRumor(nInt, p.K, 0)
 	} else {
-		initial, err = model.InitPlurality(int(p.N), narrow)
+		initial, err = model.InitPlurality(nInt, narrow)
 	}
 	if err != nil {
 		return trialOut{err: err}
 	}
-	eng, err := model.NewEngine(int(p.N), nm, proc, r)
+	eng, err := model.NewEngine(nInt, nm, proc, r)
 	if err != nil {
 		return trialOut{err: err}
 	}
