@@ -19,7 +19,7 @@ HEADLINE_BENCH := 'BenchmarkRumorSpreading($$|Huge)|BenchmarkPhase(Batch|Paralle
 # specific point.
 BENCH_N ?= $(shell i=1; while [ -e BENCH_$$i.json ]; do i=$$((i+1)); done; echo $$i)
 
-.PHONY: build vet lint test race sweep-smoke bench-quick bench-json profile check clean
+.PHONY: build vet lint test race sweep-smoke obs-smoke bench-quick bench-json profile check clean
 
 build:
 	$(GO) build ./...
@@ -61,6 +61,15 @@ sweep-smoke:
 	$(GO) run -race ./cmd/sweep grid -matrix uniform -k 3 -eps 0.15,0.25,0.35 \
 	    -delta 0.1 -n 2000 -trials 4 -workers 4 -seed 7
 
+# End-to-end observability smoke: an in-process 3-point grid with
+# -metrics-addr, asserting /metrics serves the key metric families
+# (sweep_points_total, lawcache_{hits,misses}_total, the
+# census_quant_budget histogram), /healthz answers 200, pprof returns
+# a parseable profile, the NDJSON trace parses, and the checkpoint is
+# byte-identical to an uninstrumented run.
+obs-smoke:
+	$(GO) test -run TestObsSmoke -count=1 -v ./cmd/sweep
+
 bench-quick:
 	$(GO) test -run '^$$' -bench $(QUICK_BENCH) -benchtime 1x ./...
 
@@ -93,7 +102,7 @@ profile:
 	    -o profiles/sweep.test ./internal/sweep
 	@echo "profiles written to profiles/; inspect with: go tool pprof -top profiles/census_cpu.prof"
 
-check: build lint race sweep-smoke bench-quick
+check: build lint race sweep-smoke obs-smoke bench-quick
 
 clean:
 	$(GO) clean ./...

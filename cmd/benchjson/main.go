@@ -140,6 +140,7 @@ func derive(rep *Report) {
 	var phaseBatchHuge, censusPhaseHuge, censusSweepHuge float64
 	var sweepPointsPerSec, sweepPointsPerSecQuant, lawCacheHitRate float64
 	var stage2Phase, stage2PhaseQuant, lawCacheDropped float64
+	var sweepPointsPerSecObs float64
 	var haveDropped bool
 	for _, b := range rep.Benchmarks {
 		switch {
@@ -149,6 +150,9 @@ func derive(rep *Report) {
 			sweepPointsPerSecQuant = b.Extra["points/s"]
 			lawCacheHitRate = b.Extra["hit%"]
 			lawCacheDropped, haveDropped = b.Extra["dropped"]
+		case strings.Contains(b.Name, "SweepGridPointsObs"):
+			// Same prefix trap: must precede plain SweepGridPoints.
+			sweepPointsPerSecObs = b.Extra["points/s"]
 		case strings.Contains(b.Name, "SweepGridPoints"):
 			sweepPointsPerSec = b.Extra["points/s"]
 		case strings.Contains(b.Name, "CensusPhaseStage2Quant"):
@@ -205,6 +209,13 @@ func derive(rep *Report) {
 	}
 	if sweepPointsPerSec > 0 && sweepPointsPerSecQuant > 0 {
 		add("sweep_grid_speedup_quant_over_exact", sweepPointsPerSecQuant/sweepPointsPerSec)
+	}
+	// Instrumentation overhead: how much slower the exact grid runs
+	// with live registry metrics on every layer (BenchmarkSweepGrid-
+	// PointsObs vs the uninstrumented headline), in percent. The
+	// observability contract (DESIGN.md §2) budgets this at ≤ 2.
+	if sweepPointsPerSec > 0 && sweepPointsPerSecObs > 0 {
+		add("obs_overhead_pct", 100*(sweepPointsPerSec/sweepPointsPerSecObs-1))
 	}
 	// The realized law-cache hit rate of the quantized sweep (0..1).
 	if lawCacheHitRate > 0 {

@@ -170,3 +170,36 @@ func TestDeriveQuantMetrics(t *testing.T) {
 		}
 	}
 }
+
+const sampleObs = `
+goos: linux
+BenchmarkSweepGridPoints 	       2	  20619568 ns/op	       582.0 points/s	   98956 B/op	    1651 allocs/op
+BenchmarkSweepGridPointsObs 	       2	  20825763 ns/op	       576.2 points/s	  101956 B/op	    1711 allocs/op
+PASS
+`
+
+// TestDeriveObsOverhead: the instrumentation-overhead percentage must
+// derive from the Obs/plain sweep pair — and the Obs benchmark's name,
+// which also contains the plain one's as a prefix, must not clobber
+// the exact throughput.
+func TestDeriveObsOverhead(t *testing.T) {
+	rep, err := parse(strings.NewReader(sampleObs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rep.Derived["sweep_grid_points_per_sec"]; got != 582.0 {
+		t.Fatalf("exact sweep throughput = %v, want 582 (prefix clash with Obs?)", got)
+	}
+	// 100·(582/576.2 − 1) ≈ 1.0066%.
+	if got := rep.Derived["obs_overhead_pct"]; got < 1.0 || got > 1.02 {
+		t.Fatalf("obs_overhead_pct = %v, want ≈ 1.01", got)
+	}
+	// Without the Obs benchmark the key stays absent.
+	rep, err = parse(strings.NewReader(sampleSweep))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := rep.Derived["obs_overhead_pct"]; ok {
+		t.Fatal("obs_overhead_pct derived without the Obs benchmark present")
+	}
+}

@@ -20,7 +20,9 @@ import (
 
 	"github.com/gossipkit/noisyrumor/internal/core"
 	"github.com/gossipkit/noisyrumor/internal/model"
+	"github.com/gossipkit/noisyrumor/internal/obs"
 	"github.com/gossipkit/noisyrumor/internal/sim"
+	"github.com/gossipkit/noisyrumor/internal/sweep"
 )
 
 func main() {
@@ -34,18 +36,20 @@ func main() {
 // from run so the tests can assert it matches the CLI's declared
 // universe in core.FlagUniverses.
 type cliFlags struct {
-	runID     *string
-	seed      *uint64
-	quick     *bool
-	write     *string
-	writeMD   *bool
-	csvDir    *string
-	workers   *int
-	backend   *string
-	engine    *string
-	threads   *int
-	lawQuant  *float64
-	censusTol *float64
+	runID       *string
+	seed        *uint64
+	quick       *bool
+	write       *string
+	writeMD     *bool
+	csvDir      *string
+	workers     *int
+	backend     *string
+	engine      *string
+	threads     *int
+	lawQuant    *float64
+	censusTol   *float64
+	metricsAddr *string
+	traceOut    *string
 }
 
 func registerFlags(fs *flag.FlagSet) *cliFlags {
@@ -67,7 +71,49 @@ func registerFlags(fs *flag.FlagSet) *cliFlags {
 			"census Stage-2 law quantization step η for census-engine trials, incl. the sweep-driven E21/E22 (0 = exact; try 1e-3; the law-level certificate ℓ·d_TV·sens is charged into every budget)"),
 		censusTol: fs.Float64("census-tol", 0,
 			"census Stage-2 truncation tolerance override for census-engine trials (0 = the engine default 1e-13)"),
+		metricsAddr: fs.String("metrics-addr", "",
+			"serve GET /metrics (Prometheus text), /metrics.json, /healthz and /debug/pprof on this host:port while the suite runs (port 0 picks a free port; the bound address is printed). Write-only telemetry: results are bit-identical with or without it"),
+		traceOut: fs.String("trace-out", "",
+			"write NDJSON phase-trace events (census phases, law-cache lookups, trials, points, checkpoint writes) to this file"),
 	}
+}
+
+// instrument builds the suite's observability sinks from -metrics-addr
+// and -trace-out; with neither set it returns a zero Instrumentation
+// and the experiments run exactly as before. The cleanup closes the
+// server and flushes the trace file.
+func (cf *cliFlags) instrument(out io.Writer) (sweep.Instrumentation, func(), error) {
+	if *cf.metricsAddr == "" && *cf.traceOut == "" {
+		return sweep.Instrumentation{}, func() {}, nil
+	}
+	clock := obs.WallClock{}
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	var tracer *obs.Tracer
+	if *cf.traceOut != "" {
+		f, err := os.Create(*cf.traceOut)
+		if err != nil {
+			return sweep.Instrumentation{}, nil, fmt.Errorf("-trace-out: %w", err)
+		}
+		tracer = obs.NewTracer(f, clock)
+		cleanups = append(cleanups, func() { _ = f.Close() })
+	}
+	reg := obs.NewRegistry()
+	inst := sweep.NewInstrumentation(reg, tracer, clock)
+	if *cf.metricsAddr != "" {
+		srv, err := obs.Serve(*cf.metricsAddr, reg)
+		if err != nil {
+			cleanup()
+			return sweep.Instrumentation{}, nil, err
+		}
+		fmt.Fprintf(out, "metrics: serving on %s\n", srv.Addr())
+		cleanups = append(cleanups, func() { _ = srv.Close() })
+	}
+	return inst, cleanup, nil
 }
 
 func run(args []string, out io.Writer) error {
@@ -93,6 +139,12 @@ func run(args []string, out io.Writer) error {
 	}
 	cfg := sim.Config{Seed: *seed, Quick: *quick, Workers: *workers, Backend: *backend, Engine: *engine,
 		Threads: *threads, LawQuant: *lawQuant, CensusTol: *censusTol}
+	inst, obsDone, err := cf.instrument(out)
+	if err != nil {
+		return err
+	}
+	defer obsDone()
+	cfg.Obs = inst
 
 	var exps []sim.Experiment
 	if strings.EqualFold(*runID, "all") {

@@ -27,9 +27,11 @@ import (
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"github.com/gossipkit/noisyrumor/internal/census"
 	"github.com/gossipkit/noisyrumor/internal/core"
+	"github.com/gossipkit/noisyrumor/internal/obs"
 	"github.com/gossipkit/noisyrumor/internal/sweep"
 )
 
@@ -59,14 +61,17 @@ func run(args []string, out io.Writer) error {
 
 // commonFlags registers the flags every mode shares.
 type commonFlags struct {
-	fs         *flag.FlagSet
-	seed       *uint64
-	workers    *int
-	checkpoint *string
-	jsonOut    *bool
-	engine     *string
-	lawQuant   *float64
-	censusTol  *float64
+	fs            *flag.FlagSet
+	seed          *uint64
+	workers       *int
+	checkpoint    *string
+	jsonOut       *bool
+	engine        *string
+	lawQuant      *float64
+	censusTol     *float64
+	metricsAddr   *string
+	traceOut      *string
+	metricsLinger *time.Duration
 }
 
 func registerCommon(fs *flag.FlagSet) commonFlags {
@@ -81,7 +86,60 @@ func registerCommon(fs *flag.FlagSet) commonFlags {
 			"census Stage-2 law quantization step η: round the pool distribution onto the η-lattice and memoize the majority law, charging the law-level certificate ℓ·d_TV·sens per phase into the reported budget (0 = exact; try 1e-3)"),
 		censusTol: fs.Float64("census-tol", 0,
 			"census Stage-2 truncation tolerance override (0 = the engine default 1e-13)"),
+		metricsAddr: fs.String("metrics-addr", "",
+			"serve GET /metrics (Prometheus text), /metrics.json, /healthz and /debug/pprof on this host:port during the run (port 0 picks a free port; the bound address is printed). Metrics are write-only telemetry: results are bit-identical with or without it"),
+		traceOut: fs.String("trace-out", "",
+			"write NDJSON phase-trace events (census phases, law-cache lookups, trials, points, checkpoint writes) to this file"),
+		metricsLinger: fs.Duration("metrics-linger", 0,
+			"with -metrics-addr: keep the listener up this long after the sweep finishes, for scraping a completed run"),
 	}
+}
+
+// instrument builds the sweep's observability sinks from the metrics
+// flags: a registry-backed Instrumentation, a metrics server on
+// -metrics-addr, and an NDJSON tracer on -trace-out. The returned
+// cleanup lingers (when asked), closes the server and flushes the
+// trace file; it must run after the sweep. With neither flag set
+// everything stays nil and the sweep runs exactly as before.
+func (c commonFlags) instrument(out io.Writer, cache *census.LawCache) (sweep.Instrumentation, func(), error) {
+	if *c.metricsAddr == "" && *c.traceOut == "" {
+		return sweep.Instrumentation{}, func() {}, nil
+	}
+	clock := obs.WallClock{}
+	var cleanups []func()
+	cleanup := func() {
+		for i := len(cleanups) - 1; i >= 0; i-- {
+			cleanups[i]()
+		}
+	}
+	var tracer *obs.Tracer
+	if *c.traceOut != "" {
+		f, err := os.Create(*c.traceOut)
+		if err != nil {
+			return sweep.Instrumentation{}, nil, fmt.Errorf("-trace-out: %w", err)
+		}
+		tracer = obs.NewTracer(f, clock)
+		cleanups = append(cleanups, func() { _ = f.Close() })
+	}
+	reg := obs.NewRegistry()
+	inst := sweep.NewInstrumentation(reg, tracer, clock)
+	cache.Register(reg)
+	if *c.metricsAddr != "" {
+		srv, err := obs.Serve(*c.metricsAddr, reg)
+		if err != nil {
+			cleanup()
+			return sweep.Instrumentation{}, nil, err
+		}
+		fmt.Fprintf(out, "metrics: serving on %s\n", srv.Addr())
+		linger := *c.metricsLinger
+		cleanups = append(cleanups, func() {
+			if linger > 0 {
+				time.Sleep(linger)
+			}
+			_ = srv.Close()
+		})
+	}
+	return inst, cleanup, nil
 }
 
 // validate rejects contradictory flag combinations via the shared
@@ -165,6 +223,12 @@ func runGrid(args []string, out io.Writer) error {
 		}
 	}
 	r, cache := common.runner()
+	inst, obsDone, err := common.instrument(out, cache)
+	if err != nil {
+		return err
+	}
+	defer obsDone()
+	r.Obs = inst
 	res, err := r.RunGrid(g)
 	if err != nil {
 		return err
@@ -219,6 +283,12 @@ func runBisect(args []string, out io.Writer) error {
 		Engine: engineName(*common.engine), LawQuant: *common.lawQuant, CensusTol: *common.censusTol,
 	}
 	r, cache := common.runner()
+	inst, obsDone, err := common.instrument(out, cache)
+	if err != nil {
+		return err
+	}
+	defer obsDone()
+	r.Obs = inst
 	res, err := r.RunBisect(b)
 	if err != nil {
 		return err
@@ -283,6 +353,12 @@ func runScaling(args []string, out io.Writer) error {
 		s.Ns = sweep.Decades(lo, hi)
 	}
 	r, cache := common.runner()
+	inst, obsDone, err := common.instrument(out, cache)
+	if err != nil {
+		return err
+	}
+	defer obsDone()
+	r.Obs = inst
 	res, err := r.RunScaling(s)
 	if err != nil {
 		return err

@@ -3,6 +3,7 @@ package analyzers
 import (
 	"go/ast"
 	"go/types"
+	"strings"
 )
 
 // DeterminismAnalyzer enforces the repo's bit-identical-results
@@ -21,7 +22,13 @@ import (
 //     deterministic packages);
 //  4. goroutine fan-in that appends to a shared slice — completion
 //     order decides element order; workers must write index-keyed
-//     slots instead.
+//     slots instead;
+//  5. constructing obs.WallClock — the one internal/obs type that
+//     reads the wall clock. Deterministic packages may hold and use
+//     an injected obs.Clock (timing through obs.Now/obs.SinceSeconds
+//     is the blessed pattern, write-only by the DESIGN.md §2
+//     contract), but choosing the wall-clock implementation is the
+//     harness's call, made outside these packages.
 //
 // Floating-point accumulation order is NOT checked here: the repo's
 // parallel merges are already index-keyed, and a sound check needs
@@ -52,7 +59,11 @@ func runDeterminism(pass *Pass) error {
 				}
 			case *ast.CallExpr:
 				if name := qualifiedCallee(pass, n); name == "time.Now" || name == "time.Since" {
-					pass.Reportf(n.Pos(), "%s in a deterministic package: wall-clock values must not reach results; measure timing in the harness layer", name)
+					pass.Reportf(n.Pos(), "%s in a deterministic package: wall-clock values must not reach results; accept an injected obs.Clock and read it via obs.Now / obs.SinceSeconds, leaving obs.WallClock to the harness", name)
+				}
+			case *ast.CompositeLit:
+				if isObsWallClock(pass.TypeOf(n)) {
+					pass.Reportf(n.Pos(), "obs.WallClock constructed in a deterministic package: the clock implementation is the harness's choice; accept an injected obs.Clock instead")
 				}
 			case *ast.GoStmt:
 				checkGoroutineAppend(pass, n)
@@ -118,6 +129,20 @@ func checkGoroutineAppend(pass *Pass, g *ast.GoStmt) {
 		}
 		return true
 	})
+}
+
+// isObsWallClock reports whether t is internal/obs's WallClock — the
+// sole Clock implementation that reads the wall clock, recognized by
+// name and defining package so the check survives vendoring or module
+// renames.
+func isObsWallClock(t types.Type) bool {
+	named, ok := types.Unalias(t).(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "WallClock" && obj.Pkg() != nil &&
+		strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
 }
 
 func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {

@@ -11,6 +11,8 @@ import (
 	"sort"
 	"sync"
 	"time"
+
+	"github.com/gossipkit/noisyrumor/internal/obs"
 )
 
 func mapRangePositive(m map[string]int) int {
@@ -53,6 +55,23 @@ func wallClockPositive() int64 {
 
 func wallClockSincePositive(t0 time.Time) time.Duration {
 	return time.Since(t0) // want `time.Since in a deterministic package`
+}
+
+func wallClockConstructPositive() obs.Clock {
+	return obs.WallClock{} // want `obs.WallClock constructed in a deterministic package`
+}
+
+func wallClockConstructPtrPositive() obs.Clock {
+	return &obs.WallClock{} // want `obs.WallClock constructed in a deterministic package`
+}
+
+func clockInjectionNegative(c obs.Clock) float64 {
+	start := obs.Now(c) // injected clock read through obs helpers: no finding
+	return obs.SinceSeconds(c, start)
+}
+
+func manualClockNegative() obs.Clock {
+	return &obs.ManualClock{} // deterministic clock: no finding
 }
 
 func fanInAppendPositive(items []int) []int {

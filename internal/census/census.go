@@ -70,6 +70,7 @@ import (
 	"github.com/gossipkit/noisyrumor/internal/checked"
 	"github.com/gossipkit/noisyrumor/internal/dist"
 	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/obs"
 	"github.com/gossipkit/noisyrumor/internal/rng"
 )
 
@@ -99,6 +100,13 @@ type Engine struct {
 	qbudget float64   // quantization leg of budget (Σ per-phase certs)
 	cache   *LawCache // quantized-law memo (nil until quantization is on)
 	law     lawEvaluator
+
+	// Observability sinks (SetObs). Strictly write-only from the hot
+	// path: nothing below ever reads them back, so attaching them
+	// cannot change results (see DESIGN.md §2).
+	mets   *Metrics
+	tracer *obs.Tracer
+	clock  obs.Clock
 
 	sent    []int64   // per-opinion sent multiset, reused
 	recv    []int64   // per-opinion post-noise multiset, reused
@@ -366,6 +374,9 @@ func (e *Engine) noiseSplit(rounds int) (int64, error) {
 	for j, g := range e.recv {
 		e.lambda[j] = float64(g) / nf
 	}
+	if e.mets != nil {
+		e.mets.messages.Add(total)
+	}
 	return total, nil
 }
 
@@ -376,6 +387,14 @@ func (e *Engine) noiseSplit(rounds int) (int64, error) {
 // process P's census law — one multinomial(undecided; adopt…, stay)
 // draw.
 func (e *Engine) Stage1Phase(rounds int) error {
+	start := obs.Now(e.clock)
+	b0, q0 := e.budget, e.qbudget
+	err := e.stage1Phase(rounds)
+	e.observePhase(1, start, b0, q0, err)
+	return err
+}
+
+func (e *Engine) stage1Phase(rounds int) error {
 	if _, err := e.noiseSplit(rounds); err != nil {
 		return err
 	}
@@ -406,6 +425,14 @@ func (e *Engine) Stage1Phase(rounds int) error {
 // class, undecided last; p_{i→j} = P(update)·r_j + P(keep)·δ_ij with
 // r = MajorityLaw(q, sampleSize).
 func (e *Engine) Stage2Phase(rounds, sampleSize int) error {
+	start := obs.Now(e.clock)
+	b0, q0 := e.budget, e.qbudget
+	err := e.stage2Phase(rounds, sampleSize)
+	e.observePhase(2, start, b0, q0, err)
+	return err
+}
+
+func (e *Engine) stage2Phase(rounds, sampleSize int) error {
 	if sampleSize < 1 {
 		return fmt.Errorf("census: Stage2Phase with sample size %d", sampleSize)
 	}
@@ -503,6 +530,9 @@ func (e *Engine) stage2Law(q []float64, ell int) ([]float64, error) {
 		if dtv, ok := quantizeQ(q, e.quant, e.qhat, e.qidx); ok {
 			e.keyBuf = lawKey(e.keyBuf, e.qidx, ell, e.tol, e.quant)
 			ent, hit := e.cache.lookup(e.keyBuf)
+			if e.tracer != nil {
+				e.tracer.Event("lawcache_lookup", obs.F("hit", hit), obs.F("ell", ell))
+			}
 			if !hit {
 				law, dropped, err := e.evalRenormLaw(e.qhat, ell)
 				if err != nil {
@@ -523,6 +553,9 @@ func (e *Engine) stage2Law(q []float64, ell int) ([]float64, error) {
 			// Certificate too weak for this pool point (a near-tie pool
 			// with large ℓ): fall through to the exact law at q. The
 			// q̂-law stays cached for phases whose cell it can certify.
+		}
+		if e.mets != nil {
+			e.mets.exactFallback.Inc()
 		}
 	}
 	law, dropped, err := e.evalRenormLaw(q, ell)

@@ -4,7 +4,8 @@ import (
 	"encoding/binary"
 	"math"
 	"sync"
-	"sync/atomic"
+
+	"github.com/gossipkit/noisyrumor/internal/obs"
 )
 
 // MinLawQuant is the smallest accepted non-zero quantization step η.
@@ -45,10 +46,14 @@ type LawCache struct {
 	entries map[string]lawEntry
 	// maxEntries caps len(entries); 0 means maxLawCacheEntries. Tests
 	// inject tiny caps to exercise the saturation path.
-	maxEntries    int
-	hits          atomic.Int64
-	misses        atomic.Int64
-	droppedStores atomic.Int64
+	maxEntries int
+	// The lifetime stats are obs counters (atomic int64 underneath, so
+	// the semantics of the former bare atomics are unchanged) so that
+	// Register can export the very same instances a harness reads
+	// through Stats()/HitRate() — one owner, no double accounting.
+	hits          obs.Counter
+	misses        obs.Counter
+	droppedStores obs.Counter
 }
 
 // NewLawCache returns an empty cache ready for sharing.
@@ -65,9 +70,9 @@ func (c *LawCache) lookup(key []byte) (lawEntry, bool) {
 	ent, ok := c.entries[string(key)]
 	c.mu.Unlock()
 	if ok {
-		c.hits.Add(1)
+		c.hits.Inc()
 	} else {
-		c.misses.Add(1)
+		c.misses.Inc()
 	}
 	return ent, ok
 }
@@ -93,14 +98,14 @@ func (c *LawCache) store(key []byte, r []float64, dropped, sens float64) lawEntr
 	}
 	c.mu.Unlock()
 	if full {
-		c.droppedStores.Add(1)
+		c.droppedStores.Inc()
 	}
 	return ent
 }
 
 // Stats returns the cache's lifetime lookup counts.
 func (c *LawCache) Stats() (hits, misses int64) {
-	return c.hits.Load(), c.misses.Load()
+	return c.hits.Value(), c.misses.Value()
 }
 
 // DroppedStores returns how many evaluated laws could not be stored
@@ -108,7 +113,35 @@ func (c *LawCache) Stats() (hits, misses int64) {
 // low hit rate: the sweep visits more lattice points than the cache
 // can hold, and evaluations past the cap are recomputed every time.
 func (c *LawCache) DroppedStores() int64 {
-	return c.droppedStores.Load()
+	return c.droppedStores.Value()
+}
+
+// Register exports the cache's lifetime counters and live entry/
+// capacity gauges under the lawcache_* names (DESIGN.md §2). The
+// attached counters are the cache's own instances — Stats, HitRate and
+// /metrics read the same atomics — and the gauges are read at scrape
+// time, so registration adds no work to the lookup path. Nil cache or
+// registry is a no-op.
+func (c *LawCache) Register(reg *obs.Registry) {
+	if c == nil || reg == nil {
+		return
+	}
+	reg.AttachCounter("lawcache_hits_total",
+		"Law-cache lookups that found a memoized Stage-2 law.", &c.hits)
+	reg.AttachCounter("lawcache_misses_total",
+		"Law-cache lookups that had to evaluate the Stage-2 law.", &c.misses)
+	reg.AttachCounter("lawcache_dropped_stores_total",
+		"Evaluated laws not stored because the cache was at its entry cap.", &c.droppedStores)
+	reg.GaugeFunc("lawcache_entries",
+		"Stage-2 laws currently memoized.", func() float64 { return float64(c.Len()) })
+	reg.GaugeFunc("lawcache_capacity",
+		"Law-cache entry cap.", func() float64 {
+			max := c.maxEntries
+			if max <= 0 {
+				max = maxLawCacheEntries
+			}
+			return float64(max)
+		})
 }
 
 // HitRate returns hits/(hits+misses), or 0 before the first lookup.

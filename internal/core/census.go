@@ -7,6 +7,7 @@ import (
 	"github.com/gossipkit/noisyrumor/internal/census"
 	"github.com/gossipkit/noisyrumor/internal/model"
 	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/obs"
 	"github.com/gossipkit/noisyrumor/internal/rng"
 )
 
@@ -64,12 +65,33 @@ func RunCensus(n int64, nm *noise.Matrix, params Params, initial []int64,
 type CensusRunner struct {
 	eng   *census.Engine
 	cache *census.LawCache
+
+	// Observability sinks, applied to the engine on creation and kept
+	// across Reset (SetObs). Write-only: attaching them cannot change
+	// results.
+	mets   *census.Metrics
+	tracer *obs.Tracer
+	clock  obs.Clock
 }
 
 // NewCensusRunner returns a runner whose engine draws quantized
 // Stage-2 laws from the shared cache (nil means a private cache).
 func NewCensusRunner(cache *census.LawCache) *CensusRunner {
 	return &CensusRunner{cache: cache}
+}
+
+// SetObs attaches observability sinks — a census metric bundle, an
+// NDJSON tracer and the injected clock — to the runner's engine (and
+// to engines it creates later). All three may be nil. Per the
+// observability contract the sinks are write-only, so runs with and
+// without them are bit-identical.
+func (cr *CensusRunner) SetObs(m *census.Metrics, tracer *obs.Tracer, clock obs.Clock) {
+	cr.mets = m
+	cr.tracer = tracer
+	cr.clock = clock
+	if cr.eng != nil {
+		cr.eng.SetObs(m, tracer, clock)
+	}
 }
 
 // Run is RunCensus on the runner's reused engine. The protocol knobs
@@ -95,6 +117,7 @@ func (cr *CensusRunner) Run(n int64, nm *noise.Matrix, params Params, initial []
 			return CensusResult{}, err
 		}
 		eng.SetCache(cr.cache)
+		eng.SetObs(cr.mets, cr.tracer, cr.clock)
 		if err := eng.Init(initial); err != nil {
 			return CensusResult{}, err
 		}

@@ -88,6 +88,12 @@ var FlagRejections = []FlagRejection{
 		Hint:   "drop one of the two flags",
 		When:   func(s FlagState) bool { return s.Set["correct"] && s.Set["counts"] },
 	},
+	{
+		Flag: "metrics-linger", Against: "metrics-addr",
+		Reason: "keeps the metrics listener alive after the run, so it needs -metrics-addr to start one",
+		Hint:   "add -metrics-addr or drop -metrics-linger",
+		When:   func(s FlagState) bool { return s.Set["metrics-linger"] && !s.Set["metrics-addr"] },
+	},
 }
 
 // FlagIndependent lists the unordered pairs of conflict-participating
@@ -113,6 +119,24 @@ var FlagIndependent = [][2]string{
 	{"law-quant", "counts"},
 	{"census-tol", "correct"},
 	{"census-tol", "counts"},
+	// The observability flags are write-only telemetry (DESIGN.md §2):
+	// serving /metrics composes with every engine, backend and knob,
+	// and -metrics-linger conflicts only with a missing -metrics-addr
+	// (rejected above).
+	{"metrics-addr", "engine"},
+	{"metrics-addr", "backend"},
+	{"metrics-addr", "threads"},
+	{"metrics-addr", "law-quant"},
+	{"metrics-addr", "census-tol"},
+	{"metrics-addr", "correct"},
+	{"metrics-addr", "counts"},
+	{"metrics-linger", "engine"},
+	{"metrics-linger", "backend"},
+	{"metrics-linger", "threads"},
+	{"metrics-linger", "law-quant"},
+	{"metrics-linger", "census-tol"},
+	{"metrics-linger", "correct"},
+	{"metrics-linger", "counts"},
 }
 
 // FlagUniverses lists, per CLI, the flags that participate in the
@@ -127,11 +151,13 @@ var FlagUniverses = map[string][]string{
 	"experiments": {
 		"run", "seed", "quick", "writefile", "write", "csvdir", "workers",
 		"backend", "engine", "threads", "law-quant", "census-tol",
+		"metrics-addr", "trace-out",
 	},
 	// The sweep modes share one conflict-participating flag set
 	// (registerCommon); mode-specific flags are pure value parameters.
 	"sweep": {
 		"seed", "workers", "checkpoint", "json", "engine", "law-quant", "census-tol",
+		"metrics-addr", "trace-out", "metrics-linger",
 	},
 }
 

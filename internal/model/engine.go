@@ -8,6 +8,7 @@ import (
 	"github.com/gossipkit/noisyrumor/internal/checked"
 	"github.com/gossipkit/noisyrumor/internal/dist"
 	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/obs"
 	"github.com/gossipkit/noisyrumor/internal/rng"
 )
 
@@ -103,6 +104,11 @@ type Engine struct {
 	sentBuf []int // per-opinion sent counts, reused
 	recvBuf []int // per-opinion post-noise counts, reused
 	rowBuf  []int // k-length multinomial scratch, reused
+
+	// messages is the optional write-only message-volume counter
+	// (Metrics.Bind); nil adds are no-ops, so the hot path never
+	// branches on whether a harness is observing.
+	messages *obs.Counter
 }
 
 // NewEngine builds an engine for n nodes under the given noise matrix
@@ -173,6 +179,10 @@ func (e *Engine) SetBackend(b Backend) {
 // Backend returns the engine's current sampling backend.
 func (e *Engine) Backend() Backend { return e.backend }
 
+// SetObsMessages attaches a write-only message-volume counter (see
+// Metrics.Bind); nil detaches it.
+func (e *Engine) SetObsMessages(c *obs.Counter) { e.messages = c }
+
 // N returns the population size.
 func (e *Engine) N() int { return e.n }
 
@@ -204,6 +214,7 @@ func (e *Engine) RunPhase(ops []Opinion, rounds int) (PhaseResult, error) {
 		e.total[i] = 0
 	}
 	sent := e.backend.runPhase(e, ops, rounds)
+	e.messages.Add(int64(sent))
 	return PhaseResult{Counts: e.counts, Total: e.total, Sent: sent, K: e.k}, nil
 }
 

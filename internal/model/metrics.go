@@ -1,0 +1,29 @@
+package model
+
+import "github.com/gossipkit/noisyrumor/internal/obs"
+
+// Metrics is the model layer's instrument bundle: message volume per
+// engine process. Write-only from the hot path (DESIGN.md §2) — the
+// engine adds to its bound counter and never reads it.
+type Metrics struct {
+	// Messages is model_messages_total{engine}: messages pushed by
+	// per-node engines, labeled by the process name (O, B, P).
+	Messages *obs.CounterVec
+}
+
+// NewMetrics registers the model metric family against reg. A nil
+// registry yields detached but functional instruments.
+func NewMetrics(reg *obs.Registry) *Metrics {
+	return &Metrics{Messages: reg.CounterVec("model_messages_total",
+		"Messages pushed by per-node model engines, by process.", "engine")}
+}
+
+// Bind attaches the bundle's per-engine child counter to e, capturing
+// the labeled child once so RunPhase never does a label lookup. A nil
+// bundle or engine is a no-op.
+func (m *Metrics) Bind(e *Engine, engine string) {
+	if m == nil || e == nil {
+		return
+	}
+	e.SetObsMessages(m.Messages.With(engine))
+}

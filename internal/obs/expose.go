@@ -1,0 +1,193 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus writes the registry's current state in the
+// Prometheus text exposition format (version 0.0.4): families in name
+// order, children in label-value order, histograms as cumulative
+// `_bucket{le=...}` series plus `_sum` and `_count`. Counters and
+// gauges read their live atomic values; GaugeFunc hooks are called at
+// write time. A nil registry writes nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	for _, f := range r.sortedFamilies() {
+		if f.help != "" {
+			if _, err := fmt.Fprintf(w, "# HELP %s %s\n", f.name, escapeHelp(f.help)); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "# TYPE %s %s\n", f.name, f.kind); err != nil {
+			return err
+		}
+		for _, c := range f.sortedChildren() {
+			if err := writeChild(w, f, c); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func writeChild(w io.Writer, f *family, c *child) error {
+	labels := labelString(f.labels, c.labelVals, "", 0)
+	switch f.kind {
+	case KindCounter:
+		_, err := fmt.Fprintf(w, "%s%s %d\n", f.name, labels, c.counter.Value())
+		return err
+	case KindGauge:
+		v := c.gauge.Value()
+		if c.gaugeFn != nil {
+			v = c.gaugeFn()
+		}
+		_, err := fmt.Fprintf(w, "%s%s %s\n", f.name, labels, formatFloat(v))
+		return err
+	case KindHistogram:
+		cum, count, sum := c.hist.snapshot()
+		for i, le := range c.hist.bounds {
+			bl := labelString(f.labels, c.labelVals, "le", le)
+			if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bl, cum[i]); err != nil {
+				return err
+			}
+		}
+		bl := labelString(f.labels, c.labelVals, "le", math.Inf(1))
+		if _, err := fmt.Fprintf(w, "%s_bucket%s %d\n", f.name, bl, cum[len(cum)-1]); err != nil {
+			return err
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum%s %s\n", f.name, labels, formatFloat(sum)); err != nil {
+			return err
+		}
+		_, err := fmt.Fprintf(w, "%s_count%s %d\n", f.name, labels, count)
+		return err
+	}
+	return nil
+}
+
+// labelString renders {k="v",...}, optionally appending an le bucket
+// label; it returns "" for a label-free series.
+func labelString(names, vals []string, leName string, le float64) string {
+	if len(names) == 0 && leName == "" {
+		return ""
+	}
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, n := range names {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(n)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(vals[i]))
+		b.WriteByte('"')
+	}
+	if leName != "" {
+		if len(names) > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(leName)
+		b.WriteString(`="`)
+		if math.IsInf(le, 1) {
+			b.WriteString("+Inf")
+		} else {
+			b.WriteString(formatFloat(le))
+		}
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+func formatFloat(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, "\n", `\n`)
+	return strings.ReplaceAll(s, `"`, `\"`)
+}
+
+// JSONMetric is one family in the /metrics.json document.
+type JSONMetric struct {
+	Name   string      `json:"name"`
+	Kind   string      `json:"kind"`
+	Help   string      `json:"help,omitempty"`
+	Values []JSONValue `json:"values"`
+}
+
+// JSONValue is one labeled series: Value for counters and gauges,
+// Count/Sum/Buckets for histograms.
+type JSONValue struct {
+	Labels  map[string]string `json:"labels,omitempty"`
+	Value   *float64          `json:"value,omitempty"`
+	Count   *int64            `json:"count,omitempty"`
+	Sum     *float64          `json:"sum,omitempty"`
+	Buckets []JSONBucket      `json:"buckets,omitempty"`
+}
+
+// JSONBucket is one cumulative histogram bucket; LE is
+// math.Inf-free: the +Inf bucket is the final Count.
+type JSONBucket struct {
+	LE    float64 `json:"le"`
+	Count int64   `json:"count"`
+}
+
+// Snapshot returns the registry's current state as the
+// /metrics.json document model.
+func (r *Registry) Snapshot() []JSONMetric {
+	fams := r.sortedFamilies()
+	out := make([]JSONMetric, 0, len(fams))
+	for _, f := range fams {
+		m := JSONMetric{Name: f.name, Kind: f.kind.String(), Help: f.help}
+		for _, c := range f.sortedChildren() {
+			var labels map[string]string
+			if len(f.labels) > 0 {
+				labels = make(map[string]string, len(f.labels))
+				for i, n := range f.labels {
+					labels[n] = c.labelVals[i]
+				}
+			}
+			jv := JSONValue{Labels: labels}
+			switch f.kind {
+			case KindCounter:
+				v := float64(c.counter.Value())
+				jv.Value = &v
+			case KindGauge:
+				v := c.gauge.Value()
+				if c.gaugeFn != nil {
+					v = c.gaugeFn()
+				}
+				jv.Value = &v
+			case KindHistogram:
+				cum, count, sum := c.hist.snapshot()
+				jv.Count = &count
+				jv.Sum = &sum
+				jv.Buckets = make([]JSONBucket, len(c.hist.bounds))
+				for i, le := range c.hist.bounds {
+					jv.Buckets[i] = JSONBucket{LE: le, Count: cum[i]}
+				}
+			}
+			m.Values = append(m.Values, jv)
+		}
+		out = append(out, m)
+	}
+	return out
+}
+
+// WriteJSON writes the registry's current state as indented JSON —
+// the /metrics.json exposition.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		Metrics []JSONMetric `json:"metrics"`
+	}{Metrics: r.Snapshot()})
+}

@@ -1,0 +1,130 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// A Field is one key/value pair attached to a trace event.
+type Field struct {
+	Key string
+	Val any
+}
+
+// F builds a Field.
+func F(key string, val any) Field { return Field{Key: key, Val: val} }
+
+// A Tracer emits NDJSON phase-trace events: one JSON object per line,
+// keys sorted (encoding/json sorts map keys), written under a mutex so
+// concurrent workers never interleave partial lines. Timestamps come
+// from the injected Clock (ts_ns, monotonic origin); with a nil Clock
+// every ts_ns is 0 and span durations are 0, but events still flow —
+// the trace stream stays structurally useful in deterministic runs.
+//
+// A nil *Tracer is a no-op everywhere, so instrumented layers carry an
+// optional tracer without guarding each call site.
+type Tracer struct {
+	mu    sync.Mutex
+	w     io.Writer
+	clock Clock
+	err   error // first write error; subsequent events are dropped
+}
+
+// NewTracer returns a tracer writing NDJSON to w, timestamping with
+// clock (nil clock → ts_ns 0). A nil w returns a nil tracer.
+func NewTracer(w io.Writer, clock Clock) *Tracer {
+	if w == nil {
+		return nil
+	}
+	return &Tracer{w: w, clock: clock}
+}
+
+// Event emits one event line: {"ev":ev,"ts_ns":...,fields...}.
+func (t *Tracer) Event(ev string, fields ...Field) {
+	if t == nil {
+		return
+	}
+	t.emit(ev, 0, false, fields)
+}
+
+func (t *Tracer) emit(ev string, durNS int64, withDur bool, fields []Field) {
+	m := make(map[string]any, len(fields)+3)
+	m["ev"] = ev
+	m["ts_ns"] = Now(t.clock)
+	if withDur {
+		m["dur_ns"] = durNS
+	}
+	for _, f := range fields {
+		m[f.Key] = f.Val
+	}
+	line, err := json.Marshal(m)
+	if err != nil {
+		return // unmarshalable field value; drop the event, not the run
+	}
+	line = append(line, '\n')
+	t.mu.Lock()
+	if t.err == nil {
+		_, t.err = t.w.Write(line)
+	}
+	t.mu.Unlock()
+}
+
+// Err returns the first write error the tracer hit, if any.
+func (t *Tracer) Err() error {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.err
+}
+
+// A Span is an in-flight timed region started with Tracer.Start; End
+// emits the event with dur_ns. The zero Span (from a nil tracer) is a
+// valid no-op.
+type Span struct {
+	t      *Tracer
+	ev     string
+	start  int64
+	fields []Field
+}
+
+// Start opens a span. Nothing is emitted until End, which writes one
+// event carrying the start timestamp and the duration.
+func (t *Tracer) Start(ev string, fields ...Field) Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, ev: ev, start: Now(t.clock), fields: fields}
+}
+
+// End closes the span, emitting its event with dur_ns and any extra
+// fields appended to those given at Start.
+func (s Span) End(fields ...Field) {
+	if s.t == nil {
+		return
+	}
+	dur := Now(s.t.clock) - s.start
+	all := s.fields
+	if len(fields) > 0 {
+		all = append(append([]Field(nil), s.fields...), fields...)
+	}
+	m := make(map[string]any, len(all)+3)
+	m["ev"] = s.ev
+	m["ts_ns"] = s.start
+	m["dur_ns"] = dur
+	for _, f := range all {
+		m[f.Key] = f.Val
+	}
+	line, err := json.Marshal(m)
+	if err != nil {
+		return
+	}
+	line = append(line, '\n')
+	s.t.mu.Lock()
+	if s.t.err == nil {
+		_, s.t.err = s.t.w.Write(line)
+	}
+	s.t.mu.Unlock()
+}

@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"github.com/gossipkit/noisyrumor/internal/rng"
+	"github.com/gossipkit/noisyrumor/internal/sweep"
 )
 
 // Config controls an experiment run.
@@ -53,6 +54,12 @@ type Config struct {
 	// CensusTol overrides the census engine's truncation tolerance
 	// for the same trials (0 = default; see core.Params.CensusTol).
 	CensusTol float64
+	// Obs carries the suite's observability sinks (metrics registry,
+	// NDJSON tracer, clock) into every trial and sweep the experiments
+	// drive. The zero value disables instrumentation entirely; either
+	// way results are bit-identical — the sinks are write-only
+	// (DESIGN.md §2) and never feed back into any computation.
+	Obs sweep.Instrumentation
 }
 
 func (c Config) workers() int {

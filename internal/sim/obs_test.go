@@ -1,0 +1,75 @@
+package sim
+
+import (
+	"bytes"
+	"testing"
+
+	"github.com/gossipkit/noisyrumor/internal/obs"
+	"github.com/gossipkit/noisyrumor/internal/sweep"
+)
+
+// TestObsInstrumentedGoldenIdentity is the experiment-level leg of the
+// write-only observability contract (DESIGN.md §2): attaching a fully
+// live Instrumentation to Config.Obs must leave every rendered report
+// bitwise unchanged. Covers the three trial paths the sinks reach —
+// per-node protocol trials (E1 default engine), aggregate census
+// trials (E1 on the census engine) and the sweep-driven experiments
+// (E21's grids and bisection).
+func TestObsInstrumentedGoldenIdentity(t *testing.T) {
+	cases := []struct {
+		id     string
+		engine string
+	}{
+		{"E1", ""},
+		{"E1", "census"},
+		{"E21", ""},
+	}
+	for _, tc := range cases {
+		e, ok := ByID(tc.id)
+		if !ok {
+			t.Fatalf("%s not registered", tc.id)
+		}
+		cfg := Config{Seed: 42, Quick: true, Workers: 8, Engine: tc.engine}
+		plain, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s engine %q: %v", tc.id, tc.engine, err)
+		}
+		var trace bytes.Buffer
+		reg := obs.NewRegistry()
+		cfg.Obs = sweep.NewInstrumentation(reg, obs.NewTracer(&trace, obs.WallClock{}), obs.WallClock{})
+		instr, err := e.Run(cfg)
+		if err != nil {
+			t.Fatalf("%s engine %q instrumented: %v", tc.id, tc.engine, err)
+		}
+		if plain.Text() != instr.Text() {
+			t.Errorf("%s engine %q: report differs with instrumentation on:\n--- plain ---\n%s\n--- instrumented ---\n%s",
+				tc.id, tc.engine, plain.Text(), instr.Text())
+		}
+		// Per-node trials feed only the model message counter; the
+		// census engine and the sweeps also emit trace events.
+		if tc.engine == "" && tc.id == "E1" {
+			if got := metricSum(reg, "model_messages_total"); got <= 0 {
+				t.Errorf("%s engine %q: model_messages_total = %v, want > 0", tc.id, tc.engine, got)
+			}
+		} else if trace.Len() == 0 {
+			t.Errorf("%s engine %q: tracer emitted nothing", tc.id, tc.engine)
+		}
+	}
+}
+
+// metricSum adds up every child of the named metric in a registry
+// snapshot (0 when absent).
+func metricSum(reg *obs.Registry, name string) float64 {
+	total := 0.0
+	for _, m := range reg.Snapshot() {
+		if m.Name != name {
+			continue
+		}
+		for _, v := range m.Values {
+			if v.Value != nil {
+				total += *v.Value
+			}
+		}
+	}
+	return total
+}

@@ -45,12 +45,13 @@ func runProtocol(cfg Config, r *rng.Rand, n int, nm *noise.Matrix, params core.P
 		if params.CensusTol == 0 {
 			params.CensusTol = cfg.CensusTol
 		}
-		return runCensusProtocol(r, int64(n), nm, params, initial, correct, trace)
+		return runCensusProtocol(cfg, r, int64(n), nm, params, initial, correct, trace)
 	}
 	eng, err := model.NewEngine(n, nm, proc, r)
 	if err != nil {
 		return outcome{err: err}
 	}
+	cfg.Obs.Model.Bind(eng, proc.String())
 	p, err := core.New(eng, params)
 	if err != nil {
 		return outcome{err: err}
@@ -80,7 +81,7 @@ func runProtocol(cfg Config, r *rng.Rand, n int, nm *noise.Matrix, params core.P
 // opinion census and the whole schedule advances with n-independent
 // per-phase cost. The per-node memory observables (maxCounter,
 // memoryBits) are zero — the census engine keeps no per-node state.
-func runCensusProtocol(r *rng.Rand, n int64, nm *noise.Matrix, params core.Params,
+func runCensusProtocol(cfg Config, r *rng.Rand, n int64, nm *noise.Matrix, params core.Params,
 	initial []model.Opinion, correct model.Opinion, trace bool) outcome {
 
 	ints, _ := model.CountOpinions(initial, nm.K())
@@ -88,7 +89,9 @@ func runCensusProtocol(r *rng.Rand, n int64, nm *noise.Matrix, params core.Param
 	for i, c := range ints {
 		counts[i] = int64(c)
 	}
-	res, err := core.RunCensus(n, nm, params, counts, correct, trace, r)
+	cr := core.NewCensusRunner(nil)
+	cr.SetObs(cfg.Obs.Census, cfg.Obs.Tracer, cfg.Obs.Clock)
+	res, err := cr.Run(n, nm, params, counts, correct, trace, r)
 	if err != nil {
 		return outcome{err: err}
 	}

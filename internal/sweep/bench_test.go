@@ -4,6 +4,7 @@ import (
 	"testing"
 
 	"github.com/gossipkit/noisyrumor/internal/census"
+	"github.com/gossipkit/noisyrumor/internal/obs"
 )
 
 // benchGrid is the 12-point threshold-straddling grid of the sweep
@@ -71,6 +72,32 @@ func BenchmarkSweepGridPointsQuant(b *testing.B) {
 	b.ReportMetric(float64(len(pts))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
 	b.ReportMetric(cache.HitRate()*100, "hit%")
 	b.ReportMetric(float64(cache.DroppedStores()), "dropped")
+}
+
+// BenchmarkSweepGridPointsObs is BenchmarkSweepGridPoints with live
+// metrics: registry-backed instrumentation on every layer (sweep,
+// census, model) and a wall clock, no tracer — the -metrics-addr
+// configuration of a CLI run. benchjson derives obs_overhead_pct from
+// this and the uninstrumented headline; the observability contract
+// budgets it at ≤ 2%.
+func BenchmarkSweepGridPointsObs(b *testing.B) {
+	g := benchGrid(0)
+	pts, err := g.Points()
+	if err != nil {
+		b.Fatal(err)
+	}
+	inst := NewInstrumentation(obs.NewRegistry(), nil, obs.WallClock{})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := Runner{Seed: uint64(i + 1), Obs: inst}.RunGrid(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) != len(pts) {
+			b.Fatal("short grid")
+		}
+	}
+	b.ReportMetric(float64(len(pts))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
 }
 
 // BenchmarkSweepBisect tracks the cost of a full Wilson-stopped

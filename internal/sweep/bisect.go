@@ -3,6 +3,8 @@ package sweep
 import (
 	"fmt"
 	"math"
+
+	"github.com/gossipkit/noisyrumor/internal/obs"
 )
 
 // Bisect is an adaptive search for the critical channel parameter
@@ -144,6 +146,7 @@ func (r Runner) RunBisect(b Bisect) (*BisectResult, error) {
 	runners := r.newTrialRunners(r.workers())
 	eval := func(eps float64) (BisectEval, error) {
 		idx := len(res.Evals)
+		t0 := obs.Now(r.Obs.Clock)
 		pr, ok := ck.get(idx)
 		if !ok {
 			var err error
@@ -151,10 +154,11 @@ func (r Runner) RunBisect(b Bisect) (*BisectResult, error) {
 			if err != nil {
 				return BisectEval{}, err
 			}
-			if err := ck.put(idx, pr); err != nil {
+			if err := r.putCheckpoint(ck, idx, pr); err != nil {
 				return BisectEval{}, err
 			}
 		}
+		r.observePoint(pr, t0, !ok)
 		ev := BisectEval{Eps: eps, Result: pr}
 		switch {
 		case pr.WilsonLo > 0.5:

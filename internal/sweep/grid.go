@@ -1,6 +1,10 @@
 package sweep
 
-import "fmt"
+import (
+	"fmt"
+
+	"github.com/gossipkit/noisyrumor/internal/obs"
+)
 
 // Grid is a cartesian parameter fan: every combination of the listed
 // axes becomes one Point, enumerated in a fixed order (matrix-major,
@@ -116,16 +120,18 @@ func (r Runner) RunGrid(g Grid) (*GridResult, error) {
 	res := &GridResult{Points: make([]PointResult, len(pts))}
 	runners := r.newTrialRunners(r.workers())
 	for i, p := range pts {
+		t0 := obs.Now(r.Obs.Clock)
 		pr, ok := ck.get(p.Index)
 		if !ok {
 			pr, err = r.evalPoint(p, runners)
 			if err != nil {
 				return nil, err
 			}
-			if err := ck.put(p.Index, pr); err != nil {
+			if err := r.putCheckpoint(ck, p.Index, pr); err != nil {
 				return nil, err
 			}
 		}
+		r.observePoint(pr, t0, !ok)
 		res.Points[i] = pr
 		res.ErrorBudget += pr.ErrorBudget
 		res.QuantBudget += pr.QuantBudget

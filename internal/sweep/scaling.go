@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"github.com/gossipkit/noisyrumor/internal/obs"
 	"github.com/gossipkit/noisyrumor/internal/stats"
 )
 
@@ -82,16 +83,18 @@ func (r Runner) RunScaling(s Scaling) (*ScalingResult, error) {
 			Trials:     s.Trials,
 			Params:     defaultPointParams(proto, 0, s.LawQuant, s.CensusTol),
 		}
+		t0 := obs.Now(r.Obs.Clock)
 		pr, ok := ck.get(i)
 		if !ok {
 			pr, err = r.evalPoint(p, runners)
 			if err != nil {
 				return nil, err
 			}
-			if err := ck.put(i, pr); err != nil {
+			if err := r.putCheckpoint(ck, i, pr); err != nil {
 				return nil, err
 			}
 		}
+		r.observePoint(pr, t0, !ok)
 		res.Points[i] = pr
 		res.ErrorBudget += pr.ErrorBudget
 		res.QuantBudget += pr.QuantBudget

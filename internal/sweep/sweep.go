@@ -54,6 +54,7 @@ package sweep
 import (
 	"fmt"
 	"runtime"
+	"strconv"
 	"sync"
 
 	"github.com/gossipkit/noisyrumor/internal/census"
@@ -61,6 +62,7 @@ import (
 	"github.com/gossipkit/noisyrumor/internal/core"
 	"github.com/gossipkit/noisyrumor/internal/model"
 	"github.com/gossipkit/noisyrumor/internal/noise"
+	"github.com/gossipkit/noisyrumor/internal/obs"
 	"github.com/gossipkit/noisyrumor/internal/rng"
 	"github.com/gossipkit/noisyrumor/internal/stats"
 )
@@ -149,6 +151,12 @@ type Runner struct {
 	// deterministic — entries are pure functions of their (q̂, ℓ, tol)
 	// key — and lets callers read aggregate hit statistics.
 	Cache *census.LawCache
+	// Obs carries the observability sinks threaded through workers and
+	// their engines (see Instrumentation). The zero value disables all
+	// instrumentation; per the write-only contract, results are
+	// bit-identical either way. Obs deliberately lives on the Runner,
+	// not in Point/Params, so it never enters checkpoint identity.
+	Obs Instrumentation
 }
 
 func (r Runner) workers() int {
@@ -194,6 +202,7 @@ func (r Runner) newTrialRunners(workers int) []*core.CensusRunner {
 	out := make([]*core.CensusRunner, workers)
 	for i := range out {
 		out[i] = core.NewCensusRunner(cache)
+		out[i].SetObs(r.Obs.Census, r.Obs.Tracer, r.Obs.Clock)
 	}
 	return out
 }
@@ -256,9 +265,10 @@ type trialOut struct {
 
 // runTrial executes one protocol run of the point on r's stream.
 // counts is the point's initial census (shared read-only across the
-// point's trials) and cr the executing worker's reusable census
-// runner.
-func runTrial(p Point, nm *noise.Matrix, counts []int64, r *rng.Rand, cr *core.CensusRunner) trialOut {
+// point's trials), cr the executing worker's reusable census runner,
+// and mm the optional model metric bundle bound to per-node engines
+// (write-only; nil disables it).
+func runTrial(p Point, nm *noise.Matrix, counts []int64, r *rng.Rand, cr *core.CensusRunner, mm *model.Metrics) trialOut {
 	if p.Engine == "" || p.Engine == "census" {
 		res, err := cr.Run(p.N, nm, p.Params, counts, 0, false, r)
 		if err != nil {
@@ -270,12 +280,12 @@ func runTrial(p Point, nm *noise.Matrix, counts []int64, r *rng.Rand, cr *core.C
 		}
 		return trialOut{correct: res.Correct, rounds: rounds, budget: res.ErrorBudget, qbudget: res.QuantBudget}
 	}
-	return runPerNodeTrial(p, nm, counts, r)
+	return runPerNodeTrial(p, nm, counts, r, mm)
 }
 
 // runPerNodeTrial is the cross-check path: the same point on a
 // per-node engine (O, B or P).
-func runPerNodeTrial(p Point, nm *noise.Matrix, counts []int64, r *rng.Rand) trialOut {
+func runPerNodeTrial(p Point, nm *noise.Matrix, counts []int64, r *rng.Rand, mm *model.Metrics) trialOut {
 	proc, err := model.ProcessByName(p.Engine)
 	if err != nil {
 		return trialOut{err: err}
@@ -308,6 +318,7 @@ func runPerNodeTrial(p Point, nm *noise.Matrix, counts []int64, r *rng.Rand) tri
 	if err != nil {
 		return trialOut{err: err}
 	}
+	mm.Bind(eng, proc.String())
 	proto, err := core.New(eng, p.Params)
 	if err != nil {
 		return trialOut{err: err}
@@ -328,8 +339,10 @@ func runPerNodeTrial(p Point, nm *noise.Matrix, counts []int64, r *rng.Rand) tri
 // ForkSeed(pointSeed, t) — a pure function of position, so any worker
 // count yields identical results. Worker w executes its trials
 // through runners[w], whose engine is reused (and reset) per trial;
-// which worker runs which trial does not affect results.
-func parallelTrials(runners []*core.CensusRunner, start, count int, pointSeed uint64,
+// which worker runs which trial does not affect results — the
+// per-worker trial and busy-time telemetry records the (scheduling-
+// dependent) split without ever feeding back into it.
+func (r Runner) parallelTrials(runners []*core.CensusRunner, start, count int, pointSeed uint64,
 	fn func(trial int, r *rng.Rand, cr *core.CensusRunner) trialOut) []trialOut {
 
 	out := make([]trialOut, count)
@@ -344,12 +357,35 @@ func parallelTrials(runners []*core.CensusRunner, start, count int, pointSeed ui
 	next := make(chan int)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
-		go func(cr *core.CensusRunner) {
+		go func(w int, cr *core.CensusRunner) {
 			defer wg.Done()
-			for t := range next {
-				out[t-start] = fn(t, rng.New(rng.ForkSeed(pointSeed, uint64(t))), cr)
+			// Capture the worker-labeled children once per goroutine so
+			// the per-trial writes skip the label lookup.
+			var workerTrials *obs.Counter
+			var workerBusy *obs.Gauge
+			m := r.Obs.Metrics
+			if m != nil {
+				lbl := strconv.Itoa(w)
+				workerTrials = m.workerTrials.With(lbl)
+				workerBusy = m.workerBusy.With(lbl)
 			}
-		}(runners[w])
+			clk := r.Obs.Clock
+			for t := range next {
+				t0 := obs.Now(clk)
+				out[t-start] = fn(t, rng.New(rng.ForkSeed(pointSeed, uint64(t))), cr)
+				if m != nil {
+					m.trials.Inc()
+					workerTrials.Inc()
+					workerBusy.Add(obs.SinceSeconds(clk, t0))
+				}
+				if tr := r.Obs.Tracer; tr != nil {
+					tr.Event("trial",
+						obs.F("trial", t),
+						obs.F("worker", w),
+						obs.F("dur_ns", obs.Now(clk)-t0))
+				}
+			}
+		}(w, runners[w])
 	}
 	for t := start; t < start+count; t++ {
 		next <- t
@@ -371,8 +407,8 @@ func (r Runner) evalPoint(p Point, runners []*core.CensusRunner) (PointResult, e
 		return PointResult{}, fmt.Errorf("sweep: point %d: %w", p.Index, err)
 	}
 	pointSeed := rng.ForkSeed(r.Seed, uint64(p.Index))
-	outs := parallelTrials(runners, 0, p.Trials, pointSeed, func(t int, tr *rng.Rand, cr *core.CensusRunner) trialOut {
-		return runTrial(p, nm, counts, tr, cr)
+	outs := r.parallelTrials(runners, 0, p.Trials, pointSeed, func(t int, tr *rng.Rand, cr *core.CensusRunner) trialOut {
+		return runTrial(p, nm, counts, tr, cr, r.Obs.Model)
 	})
 	return r.aggregate(p, outs)
 }
@@ -404,8 +440,8 @@ func (r Runner) evalPointAdaptive(p Point, batch int, runners []*core.CensusRunn
 		if rem := p.Trials - len(outs); count > rem {
 			count = rem
 		}
-		chunk := parallelTrials(runners, len(outs), count, pointSeed, func(t int, tr *rng.Rand, cr *core.CensusRunner) trialOut {
-			return runTrial(p, nm, counts, tr, cr)
+		chunk := r.parallelTrials(runners, len(outs), count, pointSeed, func(t int, tr *rng.Rand, cr *core.CensusRunner) trialOut {
+			return runTrial(p, nm, counts, tr, cr, r.Obs.Model)
 		})
 		outs = append(outs, chunk...)
 		res, err := r.aggregate(p, outs)
@@ -413,6 +449,9 @@ func (r Runner) evalPointAdaptive(p Point, batch int, runners []*core.CensusRunn
 			return PointResult{}, err
 		}
 		if res.WilsonLo > 0.5 || res.WilsonHi < 0.5 {
+			if m := r.Obs.Metrics; m != nil && len(outs) < p.Trials {
+				m.earlyStops.Inc()
+			}
 			return res, nil // resolved: provably off 1/2 at this confidence
 		}
 	}
