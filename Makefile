@@ -34,12 +34,16 @@ vet:
 STATICCHECK_VERSION := 2025.1.1
 GOVULNCHECK_VERSION := v1.1.4
 
-# lint is the static contract gate: go vet plus nrlint, the project's
-# own analyzer suite enforcing the determinism / overflow / budget /
-# rngfork contracts (see DESIGN.md "Statically enforced contracts").
-# staticcheck and govulncheck run when installed (CI installs the
-# pinned versions above); a bare `//nrlint:allow` fails the build.
+# lint is the static contract gate: gofmt, go vet, then nrlint — the
+# project's own analyzer suite enforcing the determinism / overflow /
+# budget / rngfork contracts plus the interprocedural detcall /
+# budgetflow / obswrite passes (see DESIGN.md "Statically enforced
+# contracts"). staticcheck and govulncheck run when installed (CI
+# installs the pinned versions above); a bare or stale
+# `//nrlint:allow` fails the build.
 lint: vet
+	@unformatted=$$(gofmt -l .); if [ -n "$$unformatted" ]; then \
+	    echo "gofmt: needs formatting:"; echo "$$unformatted"; exit 1; fi
 	$(GO) run ./cmd/nrlint
 	@if command -v staticcheck >/dev/null 2>&1; then 	    echo "staticcheck ./..."; staticcheck ./...; 	else echo "staticcheck not installed; skipping (CI pins $(STATICCHECK_VERSION))"; fi
 	@if command -v govulncheck >/dev/null 2>&1; then 	    echo "govulncheck ./..."; govulncheck ./...; 	else echo "govulncheck not installed; skipping (CI pins $(GOVULNCHECK_VERSION))"; fi
@@ -83,7 +87,8 @@ bench-json: lint
 	  $(GO) test -run '^$$' -bench 'BenchmarkPhase(Batch|Parallel)Huge' -benchtime 2x -timeout 60m ./internal/model ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkCensusPhase(Stage1|Huge)' -benchtime 2x -timeout 60m ./internal/census ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkCensusPhaseStage2|BenchmarkMajorityLaw' -benchtime 20x -timeout 60m ./internal/census ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkSweepGridPoints' -benchtime 2x -timeout 60m ./internal/sweep ; } \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSweepGridPoints' -benchtime 2x -timeout 60m ./internal/sweep ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkNrlintModule' -benchtime 1x -timeout 30m ./cmd/nrlint ; } \
 	| tee /dev/stderr \
 	| $(GO) run ./cmd/benchjson -label BENCH_$(BENCH_N) > BENCH_$(BENCH_N).json
 

@@ -140,10 +140,12 @@ func derive(rep *Report) {
 	var phaseBatchHuge, censusPhaseHuge, censusSweepHuge float64
 	var sweepPointsPerSec, sweepPointsPerSecQuant, lawCacheHitRate float64
 	var stage2Phase, stage2PhaseQuant, lawCacheDropped float64
-	var sweepPointsPerSecObs float64
+	var sweepPointsPerSecObs, nrlintModule float64
 	var haveDropped bool
 	for _, b := range rep.Benchmarks {
 		switch {
+		case strings.Contains(b.Name, "NrlintModule"):
+			nrlintModule = b.NsPerOp
 		case strings.Contains(b.Name, "SweepGridPointsQuant"):
 			// Must precede the plain SweepGridPoints case: the quantized
 			// benchmark's name contains the exact one's as a prefix.
@@ -232,5 +234,12 @@ func derive(rep *Report) {
 	// per-phase view of the law cache.
 	if stage2Phase > 0 && stage2PhaseQuant > 0 {
 		add("stage2_phase_speedup_quant_over_exact", stage2Phase/stage2PhaseQuant)
+	}
+	// Wall-clock seconds for one full-module nrlint run (all seven
+	// analyzers, bottom-up facts): the cost every `make lint` and CI
+	// lint job pays, tracked so the interprocedural layer's growth
+	// stays visible in the perf trajectory.
+	if nrlintModule > 0 {
+		add("nrlint_module_secs", nrlintModule/1e9)
 	}
 }

@@ -1,0 +1,132 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+
+	"github.com/gossipkit/noisyrumor/internal/analyzers"
+)
+
+// SARIF 2.1.0 output, the subset GitHub code scanning consumes: one
+// run, one tool driver with a rule per analyzer (metadata lifted from
+// each Analyzer.Doc) plus the synthetic "nrlint" rule for suppression
+// policy findings, and one result per surviving finding with a
+// physical location whose uri is module-relative under %SRCROOT%.
+// Types are declared rather than built from map[string]any so the
+// emitted shape is checked at compile time and field order is stable.
+
+const (
+	sarifVersion = "2.1.0"
+	sarifSchema  = "https://json.schemastore.org/sarif-2.1.0.json"
+)
+
+type sarifLog struct {
+	Schema  string     `json:"$schema"`
+	Version string     `json:"version"`
+	Runs    []sarifRun `json:"runs"`
+}
+
+type sarifRun struct {
+	Tool    sarifTool     `json:"tool"`
+	Results []sarifResult `json:"results"`
+}
+
+type sarifTool struct {
+	Driver sarifDriver `json:"driver"`
+}
+
+type sarifDriver struct {
+	Name           string      `json:"name"`
+	InformationURI string      `json:"informationUri,omitempty"`
+	Rules          []sarifRule `json:"rules"`
+}
+
+type sarifRule struct {
+	ID               string       `json:"id"`
+	ShortDescription sarifMessage `json:"shortDescription"`
+}
+
+type sarifMessage struct {
+	Text string `json:"text"`
+}
+
+type sarifResult struct {
+	RuleID    string          `json:"ruleId"`
+	RuleIndex int             `json:"ruleIndex"`
+	Level     string          `json:"level"`
+	Message   sarifMessage    `json:"message"`
+	Locations []sarifLocation `json:"locations"`
+}
+
+type sarifLocation struct {
+	PhysicalLocation sarifPhysicalLocation `json:"physicalLocation"`
+}
+
+type sarifPhysicalLocation struct {
+	ArtifactLocation sarifArtifactLocation `json:"artifactLocation"`
+	Region           sarifRegion           `json:"region"`
+}
+
+type sarifArtifactLocation struct {
+	URI       string `json:"uri"`
+	URIBaseID string `json:"uriBaseId,omitempty"`
+}
+
+type sarifRegion struct {
+	StartLine   int `json:"startLine"`
+	StartColumn int `json:"startColumn,omitempty"`
+}
+
+// sarifPolicyRuleDoc documents the synthetic rule id carried by
+// suppression-policy findings (bare, unknown-name, or stale
+// //nrlint:allow directives), which no Analyzer in the suite owns.
+const sarifPolicyRuleDoc = "suppression policy: every //nrlint:allow must name a known analyzer, carry a `-- reason` justification, and suppress at least one finding"
+
+// writeSARIF emits the findings as a SARIF 2.1.0 log. Rules cover the
+// analyzers that actually ran plus the policy rule, so every result's
+// ruleId resolves to a rule entry and ruleIndex points into the rules
+// array — the invariant GitHub's ingestion checks.
+func writeSARIF(w io.Writer, suite []*analyzers.Analyzer, findings []finding) error {
+	var rules []sarifRule
+	index := map[string]int{}
+	for _, a := range suite {
+		index[a.Name] = len(rules)
+		rules = append(rules, sarifRule{ID: a.Name, ShortDescription: sarifMessage{Text: a.Doc}})
+	}
+	index["nrlint"] = len(rules)
+	rules = append(rules, sarifRule{ID: "nrlint", ShortDescription: sarifMessage{Text: sarifPolicyRuleDoc}})
+
+	results := []sarifResult{}
+	for _, f := range findings {
+		idx, ok := index[f.Analyzer]
+		if !ok {
+			// Defensive: an unindexed analyzer name would break
+			// ruleIndex resolution; fold it into the policy rule.
+			idx = index["nrlint"]
+		}
+		results = append(results, sarifResult{
+			RuleID:    rules[idx].ID,
+			RuleIndex: idx,
+			Level:     "error",
+			Message:   sarifMessage{Text: f.Message},
+			Locations: []sarifLocation{{
+				PhysicalLocation: sarifPhysicalLocation{
+					ArtifactLocation: sarifArtifactLocation{URI: f.File, URIBaseID: "%SRCROOT%"},
+					Region:           sarifRegion{StartLine: f.Line, StartColumn: f.Column},
+				},
+			}},
+		})
+	}
+
+	log := sarifLog{
+		Schema:  sarifSchema,
+		Version: sarifVersion,
+		Runs: []sarifRun{{
+			Tool:    sarifTool{Driver: sarifDriver{Name: "nrlint", Rules: rules}},
+			Results: results,
+		}},
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(log)
+}

@@ -38,11 +38,16 @@ import (
 
 // An Analyzer is one named pass. Run inspects a fully type-checked
 // package via its Pass and reports findings; it returns an error only
-// for internal failures, never for findings.
+// for internal failures, never for findings. Facts, when non-nil, is
+// the interprocedural half: the driver calls every analyzer's Facts
+// hook on every package — dependencies first, and before any Run hook
+// of that package — so Run can consult summaries of the functions the
+// package calls, including its own (see facts.go).
 type Analyzer struct {
-	Name string
-	Doc  string
-	Run  func(*Pass) error
+	Name  string
+	Doc   string
+	Run   func(*Pass) error
+	Facts func(*Pass) error
 }
 
 // A Pass carries one type-checked package through one analyzer.
@@ -52,6 +57,11 @@ type Pass struct {
 	Files    []*ast.File
 	Pkg      *types.Package
 	Info     *types.Info
+
+	// Facts is the cross-package store: populated bottom-up over the
+	// import DAG by the analyzers' Facts hooks, consulted by Run.
+	// Nil when the driver runs without interprocedural context.
+	Facts *Facts
 
 	report func(Diagnostic)
 }
@@ -149,6 +159,9 @@ func All() []*Analyzer {
 		OverflowAnalyzer,
 		BudgetAnalyzer,
 		RngForkAnalyzer,
+		DetCallAnalyzer,
+		BudgetFlowAnalyzer,
+		ObsWriteAnalyzer,
 	}
 	sort.Slice(as, func(i, j int) bool { return as[i].Name < as[j].Name })
 	return as

@@ -9,8 +9,10 @@ import (
 )
 
 // RunFixture is the analysistest-shaped harness: it loads the fixture
-// package at dir (conventionally testdata/src/<analyzer>), runs the
-// given analyzers through the full driver pipeline — including the
+// package at dir (conventionally testdata/src/<analyzer>) together
+// with any subpackages below it (helper packages for cross-package
+// interprocedural cases), runs the given analyzers through the full
+// driver pipeline — bottom-up fact propagation, then the
 // //nrlint:allow suppression filter, so fixtures exercise accepted
 // negative cases exactly as `make lint` would — and compares the
 // surviving diagnostics against `// want "regexp"` annotations:
@@ -23,13 +25,27 @@ func RunFixture(t *testing.T, as []*Analyzer, dir string) {
 	if err != nil {
 		t.Fatalf("loader: %v", err)
 	}
-	pkg, diags, err := loader.Run(dir, as)
+	dirs, err := PackageDirs(dir)
+	if err != nil {
+		t.Fatalf("discovering fixture packages: %v", err)
+	}
+	results, err := loader.RunDirs(dirs, as)
 	if err != nil {
 		t.Fatalf("run: %v", err)
 	}
-	diags = NewSuppressor(loader.Fset, pkg.Files).Filter(diags, knownAnalyzer)
-
-	wants := parseWants(t, loader.Fset, pkg)
+	active := map[string]bool{}
+	for _, a := range as {
+		active[a.Name] = true
+	}
+	var diags []Diagnostic
+	wants := map[string][]*want{}
+	for _, res := range results {
+		diags = append(diags, NewSuppressor(loader.Fset, res.Pkg.Files).Filter(
+			res.Diags, knownAnalyzer, func(name string) bool { return active[name] })...)
+		for key, ws := range parseWants(t, loader.Fset, res.Pkg) {
+			wants[key] = append(wants[key], ws...)
+		}
+	}
 	matched := map[*want]bool{}
 	for _, d := range diags {
 		p := loader.Fset.Position(d.Pos)

@@ -26,12 +26,29 @@ func TestRngForkFixture(t *testing.T) {
 	RunFixture(t, []*Analyzer{RngForkAnalyzer}, filepath.Join("testdata", "src", "rngfork"))
 }
 
+// The interprocedural fixtures are multi-package: the directory under
+// test holds the //nrlint:deterministic (or budget-using) package and
+// a helper/ subpackage WITHOUT the directive — the cross-package shape
+// the pre-facts syntactic passes provably could not see.
+
+func TestDetCallFixture(t *testing.T) {
+	RunFixture(t, []*Analyzer{DetCallAnalyzer}, filepath.Join("testdata", "src", "detcall"))
+}
+
+func TestBudgetFlowFixture(t *testing.T) {
+	RunFixture(t, []*Analyzer{BudgetFlowAnalyzer}, filepath.Join("testdata", "src", "budgetflow"))
+}
+
+func TestObsWriteFixture(t *testing.T) {
+	RunFixture(t, []*Analyzer{ObsWriteAnalyzer}, filepath.Join("testdata", "src", "obswrite"))
+}
+
 func TestSuiteRegistry(t *testing.T) {
 	all := All()
-	if len(all) != 4 {
-		t.Fatalf("All() = %d analyzers, want 4", len(all))
+	if len(all) != 7 {
+		t.Fatalf("All() = %d analyzers, want 7", len(all))
 	}
-	for _, name := range []string{"budget", "determinism", "overflow", "rngfork"} {
+	for _, name := range []string{"budget", "budgetflow", "detcall", "determinism", "obswrite", "overflow", "rngfork"} {
 		if ByName(name) == nil {
 			t.Errorf("ByName(%q) = nil", name)
 		}

@@ -101,10 +101,26 @@ func isKeyCollectionLoop(pass *Pass, rs *ast.RangeStmt) bool {
 // the classic fan-in whose element order depends on goroutine
 // completion order.
 func checkGoroutineAppend(pass *Pass, g *ast.GoStmt) {
+	for _, shared := range goroutineSharedAppends(pass, g) {
+		pass.Reportf(shared.stmt.Pos(), "goroutine appends to shared slice %s: element order depends on scheduling; write each worker's result to an index-keyed slot", shared.name)
+	}
+}
+
+// sharedAppend is one append-to-shared-slice site inside a goroutine
+// literal, shared between the determinism pass (which reports it
+// in-package) and the detcall taint summary (which records it as a
+// nondeterminism source of the enclosing function).
+type sharedAppend struct {
+	stmt *ast.AssignStmt
+	name string
+}
+
+func goroutineSharedAppends(pass *Pass, g *ast.GoStmt) []sharedAppend {
 	lit, ok := g.Call.Fun.(*ast.FuncLit)
 	if !ok {
-		return
+		return nil
 	}
+	var out []sharedAppend
 	ast.Inspect(lit.Body, func(n ast.Node) bool {
 		as, ok := n.(*ast.AssignStmt)
 		if !ok {
@@ -124,11 +140,12 @@ func checkGoroutineAppend(pass *Pass, g *ast.GoStmt) {
 				continue
 			}
 			if obj.Pos() < lit.Pos() || obj.Pos() >= lit.End() {
-				pass.Reportf(as.Pos(), "goroutine appends to shared slice %s: element order depends on scheduling; write each worker's result to an index-keyed slot", id.Name)
+				out = append(out, sharedAppend{stmt: as, name: id.Name})
 			}
 		}
 		return true
 	})
+	return out
 }
 
 // isObsWallClock reports whether t is internal/obs's WallClock — the

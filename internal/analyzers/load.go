@@ -11,6 +11,7 @@ import (
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 )
 
@@ -179,31 +180,189 @@ func PackageDirs(root string) ([]string, error) {
 }
 
 // Run loads dir and applies the given analyzers, returning raw
-// (unsuppressed) diagnostics sorted by position.
+// (unsuppressed) diagnostics sorted by position. Single-package
+// convenience over RunDirs: facts cover only this directory, so
+// cross-package summaries resolve to "unknown" (conservatively
+// quiet).
 func (l *Loader) Run(dir string, as []*Analyzer) (*Package, []Diagnostic, error) {
-	pkg, err := l.LoadDir(dir)
+	results, err := l.RunDirs([]string{dir}, as)
 	if err != nil {
 		return nil, nil, err
 	}
-	var diags []Diagnostic
-	for _, a := range as {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     l.Fset,
-			Files:    pkg.Files,
-			Pkg:      pkg.Pkg,
-			Info:     pkg.Info,
-			report:   func(d Diagnostic) { diags = append(diags, d) },
+	return results[0].Pkg, results[0].Diags, nil
+}
+
+// A PackageResult pairs one analyzed package with its raw
+// (unsuppressed) diagnostics, sorted by position.
+type PackageResult struct {
+	Pkg   *Package
+	Diags []Diagnostic
+}
+
+// RunDirs analyzes the given package directories bottom-up over their
+// import DAG: dependencies are loaded and fact-computed before their
+// dependents, every analyzer's Facts hook runs before any Run hook of
+// the same package, and the fact store is serialized and re-decoded
+// between packages (so facts provably survive the round trip a
+// cache-backed driver would impose). Results are returned sorted by
+// import path regardless of analysis order, so output is stable. A
+// package that fails to load or type-check aborts the whole run with
+// an error naming it — its dependents' facts would silently be
+// incomplete otherwise.
+func (l *Loader) RunDirs(dirs []string, as []*Analyzer) ([]PackageResult, error) {
+	ordered, err := l.sortDirsByImports(dirs)
+	if err != nil {
+		return nil, err
+	}
+	facts := NewFacts()
+	var results []PackageResult
+	for _, dir := range ordered {
+		pkg, err := l.LoadDir(dir)
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: loading %s mid-DAG (dependent packages would see incomplete facts): %w", dir, err)
 		}
-		if err := a.Run(pass); err != nil {
-			return nil, nil, fmt.Errorf("analyzers: %s on %s: %w", a.Name, pkg.Path, err)
+		var diags []Diagnostic
+		newPass := func(a *Analyzer) *Pass {
+			return &Pass{
+				Analyzer: a,
+				Fset:     l.Fset,
+				Files:    pkg.Files,
+				Pkg:      pkg.Pkg,
+				Info:     pkg.Info,
+				Facts:    facts,
+				report:   func(d Diagnostic) { diags = append(diags, d) },
+			}
+		}
+		for _, a := range as {
+			if a.Facts == nil {
+				continue
+			}
+			if err := a.Facts(newPass(a)); err != nil {
+				return nil, fmt.Errorf("analyzers: %s facts on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		for _, a := range as {
+			if a.Run == nil {
+				continue
+			}
+			if err := a.Run(newPass(a)); err != nil {
+				return nil, fmt.Errorf("analyzers: %s on %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		sort.Slice(diags, func(i, j int) bool {
+			if diags[i].Pos != diags[j].Pos {
+				return diags[i].Pos < diags[j].Pos
+			}
+			return diags[i].Analyzer < diags[j].Analyzer
+		})
+		results = append(results, PackageResult{Pkg: pkg, Diags: diags})
+		data, err := facts.Encode()
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: encoding facts after %s: %w", pkg.Path, err)
+		}
+		if facts, err = DecodeFacts(data); err != nil {
+			return nil, fmt.Errorf("analyzers: reloading facts after %s: %w", pkg.Path, err)
 		}
 	}
-	sort.Slice(diags, func(i, j int) bool {
-		if diags[i].Pos != diags[j].Pos {
-			return diags[i].Pos < diags[j].Pos
+	sort.Slice(results, func(i, j int) bool { return results[i].Pkg.Path < results[j].Pkg.Path })
+	return results, nil
+}
+
+// dirImports returns the import paths of dir's non-test Go files
+// (parsed imports-only, so ordering the DAG costs a fraction of type
+// checking).
+func (l *Loader) dirImports(dir string) ([]string, error) {
+	abs, err := filepath.Abs(dir)
+	if err != nil {
+		return nil, err
+	}
+	entries, err := os.ReadDir(abs)
+	if err != nil {
+		return nil, err
+	}
+	seen := map[string]bool{}
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") ||
+			strings.HasSuffix(name, "_test.go") || strings.HasPrefix(name, ".") {
+			continue
 		}
-		return diags[i].Analyzer < diags[j].Analyzer
-	})
-	return pkg, diags, nil
+		f, err := parser.ParseFile(token.NewFileSet(), filepath.Join(abs, name), nil, parser.ImportsOnly)
+		if err != nil {
+			return nil, err
+		}
+		for _, imp := range f.Imports {
+			if path, err := strconv.Unquote(imp.Path.Value); err == nil {
+				seen[path] = true
+			}
+		}
+	}
+	paths := make([]string, 0, len(seen))
+	for p := range seen {
+		paths = append(paths, p)
+	}
+	sort.Strings(paths)
+	return paths, nil
+}
+
+// sortDirsByImports topologically orders dirs so that every directory
+// precedes the directories that import it (edges restricted to the
+// given set; external imports are irrelevant to fact availability
+// within the set). Ties break by import path, so the order — and
+// therefore fact content and diagnostics — is deterministic.
+func (l *Loader) sortDirsByImports(dirs []string) ([]string, error) {
+	type node struct {
+		dir  string
+		path string
+		deps []string // import paths within the set
+	}
+	byPath := map[string]*node{}
+	nodes := make([]*node, 0, len(dirs))
+	for _, dir := range dirs {
+		abs, err := filepath.Abs(dir)
+		if err != nil {
+			return nil, err
+		}
+		n := &node{dir: dir, path: l.importPath(abs)}
+		byPath[n.path] = n
+		nodes = append(nodes, n)
+	}
+	for _, n := range nodes {
+		imps, err := l.dirImports(n.dir)
+		if err != nil {
+			return nil, fmt.Errorf("analyzers: scanning imports of %s: %w", n.dir, err)
+		}
+		for _, p := range imps {
+			if _, ok := byPath[p]; ok && p != n.path {
+				n.deps = append(n.deps, p)
+			}
+		}
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].path < nodes[j].path })
+	order := make([]string, 0, len(nodes))
+	state := map[string]int{} // 0 unvisited, 1 visiting, 2 done
+	var visit func(n *node) error
+	visit = func(n *node) error {
+		switch state[n.path] {
+		case 1:
+			return fmt.Errorf("analyzers: import cycle through %s", n.path)
+		case 2:
+			return nil
+		}
+		state[n.path] = 1
+		for _, dep := range n.deps {
+			if err := visit(byPath[dep]); err != nil {
+				return err
+			}
+		}
+		state[n.path] = 2
+		order = append(order, n.dir)
+		return nil
+	}
+	for _, n := range nodes {
+		if err := visit(n); err != nil {
+			return nil, err
+		}
+	}
+	return order, nil
 }

@@ -3,6 +3,7 @@ package analyzers
 import (
 	"go/ast"
 	"go/token"
+	"sort"
 	"strings"
 )
 
@@ -84,11 +85,15 @@ func NewSuppressor(fset *token.FileSet, files []*ast.File) *Suppressor {
 }
 
 // Filter drops diagnostics covered by a justified allow directive and
-// appends policy diagnostics for bare suppressions (no `-- reason`)
-// and unknown analyzer names. Directives that suppressed nothing are
-// left alone: they may guard a pattern the suite only flags on some
-// platforms, and stale ones are cheap to spot in review.
-func (s *Suppressor) Filter(diags []Diagnostic, known func(string) bool) []Diagnostic {
+// appends policy diagnostics for bare suppressions (no `-- reason`),
+// unknown analyzer names, and stale directives: a justified allow
+// whose analyzers all ran (per active) yet suppressed nothing is dead
+// policy — the code it excused was fixed or deleted, and keeping the
+// directive would silently swallow the next genuine finding on that
+// line. Staleness is only judged against analyzers that actually ran
+// this invocation (active), so `-run determinism` cannot declare an
+// overflow allow stale.
+func (s *Suppressor) Filter(diags []Diagnostic, known, active func(string) bool) []Diagnostic {
 	var out []Diagnostic
 	for _, d := range diags {
 		p := s.fset.Position(d.Pos)
@@ -107,6 +112,7 @@ func (s *Suppressor) Filter(diags []Diagnostic, known func(string) bool) []Diagn
 			out = append(out, d)
 		}
 	}
+	var policy []Diagnostic
 	seen := map[*allowMark]bool{}
 	for _, byLine := range s.marks {
 		for _, marks := range byLine {
@@ -116,21 +122,37 @@ func (s *Suppressor) Filter(diags []Diagnostic, known func(string) bool) []Diagn
 				}
 				seen[mark] = true
 				if mark.reason == "" {
-					out = append(out, Diagnostic{Pos: mark.pos, Analyzer: "nrlint",
+					policy = append(policy, Diagnostic{Pos: mark.pos, Analyzer: "nrlint",
 						Message: "bare suppression: //nrlint:allow needs a justification (`//nrlint:allow <analyzer> -- <reason>`)"})
 				}
 				if len(mark.analyzers) == 0 {
-					out = append(out, Diagnostic{Pos: mark.pos, Analyzer: "nrlint",
+					policy = append(policy, Diagnostic{Pos: mark.pos, Analyzer: "nrlint",
 						Message: "//nrlint:allow names no analyzer"})
 				}
+				allKnownActive := len(mark.analyzers) > 0
 				for _, name := range mark.analyzers {
 					if !known(name) {
-						out = append(out, Diagnostic{Pos: mark.pos, Analyzer: "nrlint",
+						policy = append(policy, Diagnostic{Pos: mark.pos, Analyzer: "nrlint",
 							Message: "//nrlint:allow names unknown analyzer " + name})
 					}
+					if !known(name) || !active(name) {
+						allKnownActive = false
+					}
+				}
+				if mark.reason != "" && allKnownActive && !mark.used {
+					policy = append(policy, Diagnostic{Pos: mark.pos, Analyzer: "nrlint",
+						Message: "stale suppression: //nrlint:allow " + strings.Join(mark.analyzers, ",") + " matches no finding on its line; the code it excused is gone — delete the directive so it cannot mask a future finding"})
 				}
 			}
 		}
 	}
-	return out
+	// The marks map iterates in random order; sort the policy findings
+	// so output is stable run to run.
+	sort.Slice(policy, func(i, j int) bool {
+		if policy[i].Pos != policy[j].Pos {
+			return policy[i].Pos < policy[j].Pos
+		}
+		return policy[i].Message < policy[j].Message
+	})
+	return append(out, policy...)
 }

@@ -27,7 +27,7 @@ func TestSuppressorJustifiedAllowDropsFinding(t *testing.T) {
 	src := "package p\n\nfunc f() {\n\t_ = 1 //nrlint:allow determinism -- order-free by construction\n}\n"
 	s, _, pos := parseSrc(t, src)
 	diags := []Diagnostic{{Pos: pos(4), Analyzer: "determinism", Message: "range over map"}}
-	out := s.Filter(diags, known)
+	out := s.Filter(diags, known, known)
 	if len(out) != 0 {
 		t.Fatalf("justified allow kept %d diagnostics: %v", len(out), out)
 	}
@@ -36,7 +36,7 @@ func TestSuppressorJustifiedAllowDropsFinding(t *testing.T) {
 func TestSuppressorCoversNextLine(t *testing.T) {
 	src := "package p\n\nfunc f() {\n\t//nrlint:allow overflow -- bounded by n\n\t_ = 1\n}\n"
 	s, _, pos := parseSrc(t, src)
-	out := s.Filter([]Diagnostic{{Pos: pos(5), Analyzer: "overflow", Message: "unchecked"}}, known)
+	out := s.Filter([]Diagnostic{{Pos: pos(5), Analyzer: "overflow", Message: "unchecked"}}, known, known)
 	if len(out) != 0 {
 		t.Fatalf("standalone allow did not cover the next line: %v", out)
 	}
@@ -45,16 +45,27 @@ func TestSuppressorCoversNextLine(t *testing.T) {
 func TestSuppressorWrongAnalyzerKeepsFinding(t *testing.T) {
 	src := "package p\n\nfunc f() {\n\t_ = 1 //nrlint:allow overflow -- wrong pass\n}\n"
 	s, _, pos := parseSrc(t, src)
-	out := s.Filter([]Diagnostic{{Pos: pos(4), Analyzer: "determinism", Message: "range over map"}}, known)
-	if len(out) != 1 {
-		t.Fatalf("allow for a different analyzer suppressed the finding: %v", out)
+	out := s.Filter([]Diagnostic{{Pos: pos(4), Analyzer: "determinism", Message: "range over map"}}, known, known)
+	// The determinism finding survives, and the overflow allow — which
+	// suppressed nothing — is itself reported stale.
+	var sawOriginal, sawStale bool
+	for _, d := range out {
+		if d.Analyzer == "determinism" {
+			sawOriginal = true
+		}
+		if d.Analyzer == "nrlint" && strings.Contains(d.Message, "stale suppression") {
+			sawStale = true
+		}
+	}
+	if !sawOriginal || !sawStale || len(out) != 2 {
+		t.Fatalf("allow for a different analyzer mishandled: %v", out)
 	}
 }
 
 func TestSuppressorBareAllowIsAFinding(t *testing.T) {
 	src := "package p\n\nfunc f() {\n\t_ = 1 //nrlint:allow determinism\n}\n"
 	s, _, pos := parseSrc(t, src)
-	out := s.Filter([]Diagnostic{{Pos: pos(4), Analyzer: "determinism", Message: "range over map"}}, known)
+	out := s.Filter([]Diagnostic{{Pos: pos(4), Analyzer: "determinism", Message: "range over map"}}, known, known)
 	// The bare allow must NOT suppress, and must add a policy finding.
 	var sawOriginal, sawPolicy bool
 	for _, d := range out {
@@ -73,7 +84,7 @@ func TestSuppressorBareAllowIsAFinding(t *testing.T) {
 func TestSuppressorUnknownAnalyzerIsAFinding(t *testing.T) {
 	src := "package p\n\nfunc f() {\n\t_ = 1 //nrlint:allow determinsm -- typo\n}\n"
 	s, _, _ := parseSrc(t, src)
-	out := s.Filter(nil, known)
+	out := s.Filter(nil, known, known)
 	if len(out) != 1 || !strings.Contains(out[0].Message, "unknown analyzer") {
 		t.Fatalf("typoed analyzer name not caught: %v", out)
 	}
@@ -82,8 +93,43 @@ func TestSuppressorUnknownAnalyzerIsAFinding(t *testing.T) {
 func TestSuppressorEmptyNameListIsAFinding(t *testing.T) {
 	src := "package p\n\nfunc f() {\n\t_ = 1 //nrlint:allow -- just because\n}\n"
 	s, _, _ := parseSrc(t, src)
-	out := s.Filter(nil, known)
+	out := s.Filter(nil, known, known)
 	if len(out) != 1 || !strings.Contains(out[0].Message, "names no analyzer") {
 		t.Fatalf("nameless allow not caught: %v", out)
+	}
+}
+
+func TestSuppressorStaleAllowIsAFinding(t *testing.T) {
+	src := "package p\n\nfunc f() {\n\t_ = 1 //nrlint:allow determinism -- the map range below\n}\n"
+	s, _, _ := parseSrc(t, src)
+	out := s.Filter(nil, known, known)
+	if len(out) != 1 || !strings.Contains(out[0].Message, "stale suppression") {
+		t.Fatalf("justified allow that suppressed nothing not reported stale: %v", out)
+	}
+}
+
+func TestSuppressorInactiveAnalyzerNotStale(t *testing.T) {
+	// Running only the overflow pass must not declare a determinism
+	// allow stale: that analyzer never got a chance to match it.
+	src := "package p\n\nfunc f() {\n\t_ = 1 //nrlint:allow determinism -- order-free\n}\n"
+	s, _, _ := parseSrc(t, src)
+	active := func(name string) bool { return name == "overflow" }
+	out := s.Filter(nil, known, active)
+	if len(out) != 0 {
+		t.Fatalf("allow for an analyzer that did not run reported stale: %v", out)
+	}
+}
+
+func TestSuppressorMultiNameStaleNeedsAllActive(t *testing.T) {
+	// An allow naming two analyzers is stale only when both ran and
+	// neither matched.
+	src := "package p\n\nfunc f() {\n\t_ = 1 //nrlint:allow determinism,overflow -- both excused\n}\n"
+	s, _, _ := parseSrc(t, src)
+	if out := s.Filter(nil, known, func(name string) bool { return name == "determinism" }); len(out) != 0 {
+		t.Fatalf("partially active allow reported stale: %v", out)
+	}
+	out := s.Filter(nil, known, known)
+	if len(out) != 1 || !strings.Contains(out[0].Message, "stale suppression") {
+		t.Fatalf("fully active unused allow not reported stale: %v", out)
 	}
 }
