@@ -19,7 +19,7 @@ HEADLINE_BENCH := 'BenchmarkRumorSpreading($$|Huge)|BenchmarkPhase(Batch|Paralle
 # specific point.
 BENCH_N ?= $(shell i=1; while [ -e BENCH_$$i.json ]; do i=$$((i+1)); done; echo $$i)
 
-.PHONY: build vet lint test race sweep-smoke obs-smoke bench-quick bench-json profile check clean
+.PHONY: build vet lint test race sweep-smoke obs-smoke chaos bench-quick bench-json profile check clean
 
 build:
 	$(GO) build ./...
@@ -74,6 +74,16 @@ sweep-smoke:
 obs-smoke:
 	$(GO) test -run TestObsSmoke -count=1 -v ./cmd/sweep
 
+# chaos is the fault-injection gate: deterministic seeded faults
+# (torn checkpoint writes, 1-in-N trial panics, a shard file torn
+# mid-line, dropped law-cache stores) against the sharded sweep
+# workflow, asserting the merged result stays byte-identical to a
+# fault-free single-host run at 1 and 8 workers. Runs under -race and
+# -count=1: the injectors are stateful, so cached results are
+# meaningless.
+chaos:
+	$(GO) test -race -run 'TestChaos' -count=1 ./internal/sweep ./cmd/sweep
+
 bench-quick:
 	$(GO) test -run '^$$' -bench $(QUICK_BENCH) -benchtime 1x ./...
 
@@ -87,7 +97,7 @@ bench-json: lint
 	  $(GO) test -run '^$$' -bench 'BenchmarkPhase(Batch|Parallel)Huge' -benchtime 2x -timeout 60m ./internal/model ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkCensusPhase(Stage1|Huge)' -benchtime 2x -timeout 60m ./internal/census ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkCensusPhaseStage2|BenchmarkMajorityLaw' -benchtime 20x -timeout 60m ./internal/census ; \
-	  $(GO) test -run '^$$' -bench 'BenchmarkSweepGridPoints' -benchtime 2x -timeout 60m ./internal/sweep ; \
+	  $(GO) test -run '^$$' -bench 'BenchmarkSweepGridPoints|BenchmarkShardMerge' -benchtime 10x -timeout 60m ./internal/sweep ; \
 	  $(GO) test -run '^$$' -bench 'BenchmarkNrlintModule' -benchtime 1x -timeout 30m ./cmd/nrlint ; } \
 	| tee /dev/stderr \
 	| $(GO) run ./cmd/benchjson -label BENCH_$(BENCH_N) > BENCH_$(BENCH_N).json
@@ -107,7 +117,7 @@ profile:
 	    -o profiles/sweep.test ./internal/sweep
 	@echo "profiles written to profiles/; inspect with: go tool pprof -top profiles/census_cpu.prof"
 
-check: build lint race sweep-smoke obs-smoke bench-quick
+check: build lint race sweep-smoke obs-smoke chaos bench-quick
 
 clean:
 	$(GO) clean ./...

@@ -16,6 +16,9 @@
 //	sweep bisect ... -law-quant 1e-3           # Stage-2 law cache: ~order-of-
 //	    # magnitude faster, each phase's law-level certificate ℓ·d_TV·sens
 //	    # added to every budget (reported separately as the quant leg)
+//	sweep grid ... -shard 2/4 -checkpoint shard2.json  # one slice of four hosts
+//	sweep merge -out merged.json shard*.json   # recombine shard checkpoints into
+//	    # the byte-identical single-host journal (resumable by one host)
 package main
 
 import (
@@ -32,6 +35,7 @@ import (
 	"github.com/gossipkit/noisyrumor/internal/census"
 	"github.com/gossipkit/noisyrumor/internal/core"
 	"github.com/gossipkit/noisyrumor/internal/obs"
+	"github.com/gossipkit/noisyrumor/internal/resilience"
 	"github.com/gossipkit/noisyrumor/internal/sweep"
 )
 
@@ -54,8 +58,10 @@ func run(args []string, out io.Writer) error {
 		return runBisect(rest, out)
 	case "scaling":
 		return runScaling(rest, out)
+	case "merge":
+		return runMerge(rest, out)
 	default:
-		return fmt.Errorf("unknown mode %q (have grid, bisect, scaling)", mode)
+		return fmt.Errorf("unknown mode %q (have grid, bisect, scaling, merge)", mode)
 	}
 }
 
@@ -72,6 +78,7 @@ type commonFlags struct {
 	metricsAddr   *string
 	traceOut      *string
 	metricsLinger *time.Duration
+	shard         *string
 }
 
 func registerCommon(fs *flag.FlagSet) commonFlags {
@@ -92,6 +99,8 @@ func registerCommon(fs *flag.FlagSet) commonFlags {
 			"write NDJSON phase-trace events (census phases, law-cache lookups, trials, points, checkpoint writes) to this file"),
 		metricsLinger: fs.Duration("metrics-linger", 0,
 			"with -metrics-addr: keep the listener up this long after the sweep finishes, for scraping a completed run"),
+		shard: fs.String("shard", "",
+			"run only this index-residue slice of the sweep, as index/of (e.g. 2/4); requires -checkpoint, and `sweep merge` recombines the shard checkpoints into the byte-identical single-host journal"),
 	}
 }
 
@@ -156,13 +165,81 @@ func (c commonFlags) validate() error {
 
 // runner builds the sweep runner, sharing one Stage-2 law cache
 // across all workers and points when quantization is on so the CLI
-// can report cache statistics after the run.
-func (c commonFlags) runner() (sweep.Runner, *census.LawCache) {
+// can report cache statistics after the run. The retry policy gets a
+// real sleeper — the CLI is a harness, so backoff may block — while
+// jitter stays seeded, so a retried run's results are unchanged.
+func (c commonFlags) runner() (sweep.Runner, *census.LawCache, error) {
 	var cache *census.LawCache
 	if *c.lawQuant > 0 {
 		cache = census.NewLawCache()
 	}
-	return sweep.Runner{Seed: *c.seed, Workers: *c.workers, Checkpoint: *c.checkpoint, Cache: cache}, cache
+	retry := resilience.DefaultPolicy()
+	retry.Sleeper = obs.WallSleeper{}
+	r := sweep.Runner{Seed: *c.seed, Workers: *c.workers, Checkpoint: *c.checkpoint, Cache: cache, Retry: retry}
+	if *c.shard != "" {
+		sh, err := sweep.ParseShard(*c.shard)
+		if err != nil {
+			return sweep.Runner{}, nil, fmt.Errorf("-shard: %w", err)
+		}
+		r.Shard = sh
+	}
+	return r, cache, nil
+}
+
+// printResilienceSummary reports degradation the run recovered from;
+// silent recovery would hide real infrastructure trouble.
+func printResilienceSummary(out io.Writer, salvaged int, quarantined []int) {
+	if salvaged > 0 {
+		fmt.Fprintf(out, "checkpoint: salvaged journal dropped %d damaged point(s), recomputed\n", salvaged)
+	}
+	if len(quarantined) > 0 {
+		fmt.Fprintf(out, "quarantined points %v: classified failures exhausted retries; re-run with the same -checkpoint to recompute them\n", quarantined)
+	}
+}
+
+// runMerge implements `sweep merge -out merged.json shard*.json`:
+// validate that the shard checkpoints belong to one sweep and
+// recombine them into the single-host journal (byte-identical to an
+// unsharded run when complete).
+func runMerge(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("sweep merge", flag.ContinueOnError)
+	var (
+		outPath = fs.String("out", "", "path for the merged checkpoint (required)")
+		partial = fs.Bool("partial", false,
+			"write the union even when shards or points are missing or quarantined; the merged journal resumes on a single host, which recomputes the gaps")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *outPath == "" {
+		return fmt.Errorf("merge needs -out")
+	}
+	shards := fs.Args()
+	if len(shards) == 0 {
+		return fmt.Errorf("merge needs at least one shard checkpoint file")
+	}
+	rep, err := sweep.Merge(*outPath, *partial, shards...)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "merged %d shard(s) of %d (%s): %d/%d points -> %s\n",
+		len(rep.Shards), rep.Of, rep.Mode, rep.Points, rep.Expected, *outPath)
+	if rep.Salvaged > 0 {
+		fmt.Fprintf(out, "salvage dropped %d damaged point(s); a single-host resume recomputes them\n", rep.Salvaged)
+	}
+	if len(rep.MissingShards) > 0 {
+		fmt.Fprintf(out, "missing shards: %v\n", rep.MissingShards)
+	}
+	if len(rep.Missing) > 0 {
+		fmt.Fprintf(out, "missing points: %v\n", rep.Missing)
+	}
+	if len(rep.Quarantined) > 0 {
+		fmt.Fprintf(out, "quarantined points: %v\n", rep.Quarantined)
+	}
+	if !rep.Complete() {
+		fmt.Fprintf(out, "resume the merged journal on one host to fill the gaps: sweep <mode> ... -checkpoint %s\n", *outPath)
+	}
+	return nil
 }
 
 // printCacheStats reports the shared law cache's lifetime accounting —
@@ -222,7 +299,10 @@ func runGrid(args []string, out io.Writer) error {
 			return fmt.Errorf("-c: %w", err)
 		}
 	}
-	r, cache := common.runner()
+	r, cache, err := common.runner()
+	if err != nil {
+		return err
+	}
 	inst, obsDone, err := common.instrument(out, cache)
 	if err != nil {
 		return err
@@ -236,8 +316,12 @@ func runGrid(args []string, out io.Writer) error {
 	if *common.jsonOut {
 		return emitJSON(out, res)
 	}
-	fmt.Fprintf(out, "grid: %d points × %d trials, seed %d (total budget %.2e, quant leg %.2e)\n\n",
-		len(res.Points), g.Trials, *common.seed, res.ErrorBudget, res.QuantBudget)
+	shardNote := ""
+	if res.Shard != nil {
+		shardNote = fmt.Sprintf(" (shard %s)", res.Shard)
+	}
+	fmt.Fprintf(out, "grid: %d points × %d trials, seed %d%s (total budget %.2e, quant leg %.2e)\n\n",
+		len(res.Points), g.Trials, *common.seed, shardNote, res.ErrorBudget, res.QuantBudget)
 	fmt.Fprintf(out, "%-8s %-3s %-9s %-6s %-10s %-8s %-9s %-16s %-10s %s\n",
 		"matrix", "k", "eps", "delta", "n", "success", "trials", "wilson95", "rounds", "budget")
 	for _, p := range res.Points {
@@ -246,6 +330,7 @@ func runGrid(args []string, out io.Writer) error {
 			p.SuccessRate, p.Trials, p.WilsonLo, p.WilsonHi, p.MeanRounds, p.ErrorBudget)
 	}
 	fmt.Fprintln(out)
+	printResilienceSummary(out, res.Salvaged, res.Quarantined)
 	printCacheStats(out, cache)
 	return nil
 }
@@ -282,7 +367,10 @@ func runBisect(args []string, out io.Writer) error {
 		Lo: *lo, Hi: *hi, Tol: *tol, Trials: *trials, Batch: *batch, MaxEvals: *maxEvals,
 		Engine: engineName(*common.engine), LawQuant: *common.lawQuant, CensusTol: *common.censusTol,
 	}
-	r, cache := common.runner()
+	r, cache, err := common.runner()
+	if err != nil {
+		return err
+	}
 	inst, obsDone, err := common.instrument(out, cache)
 	if err != nil {
 		return err
@@ -306,6 +394,7 @@ func runBisect(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(out, "\ncritical ε* = %.5f (bracket [%.5f, %.5f], band [%.5f, %.5f], budget %.2e, quant leg %.2e)\n",
 		res.Critical, res.Lo, res.Hi, res.BandLo, res.BandHi, res.ErrorBudget, res.QuantBudget)
+	printResilienceSummary(out, res.Salvaged, nil)
 	printCacheStats(out, cache)
 	if lpb, err := sweep.LPBoundary(b.Matrix, b.K, b.ProtoEps, b.Delta, b.Lo, b.Hi); err == nil {
 		fmt.Fprintf(out, "LP majority-preservation boundary: %.5f — %s the critical band\n",
@@ -352,7 +441,10 @@ func runScaling(args []string, out io.Writer) error {
 		}
 		s.Ns = sweep.Decades(lo, hi)
 	}
-	r, cache := common.runner()
+	r, cache, err := common.runner()
+	if err != nil {
+		return err
+	}
 	inst, obsDone, err := common.instrument(out, cache)
 	if err != nil {
 		return err
@@ -372,8 +464,13 @@ func runScaling(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "%-14d %-10.1f %-8.3f %-10.1f %.2e\n",
 			p.Point.N, p.MeanRounds, p.SuccessRate, p.MeanRounds/math.Log(float64(p.Point.N)), p.ErrorBudget)
 	}
-	fmt.Fprintf(out, "\nfit: T(n) = %.1f + %.1f·ln n (R²=%.4f, RMSE %.1f rounds; total budget %.2e, quant leg %.2e)\n",
-		res.Fit.Intercept, res.Fit.Slope, res.Fit.R2, res.Fit.RMSE, res.ErrorBudget, res.QuantBudget)
+	if res.Shard != nil {
+		fmt.Fprintf(out, "\nshard %s: no fit (it belongs to the merged curve; merge the shard checkpoints and resume on one host)\n", res.Shard)
+	} else {
+		fmt.Fprintf(out, "\nfit: T(n) = %.1f + %.1f·ln n (R²=%.4f, RMSE %.1f rounds; total budget %.2e, quant leg %.2e)\n",
+			res.Fit.Intercept, res.Fit.Slope, res.Fit.R2, res.Fit.RMSE, res.ErrorBudget, res.QuantBudget)
+	}
+	printResilienceSummary(out, res.Salvaged, res.Quarantined)
 	printCacheStats(out, cache)
 	return nil
 }

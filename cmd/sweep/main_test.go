@@ -120,6 +120,13 @@ func TestRunRejectsBadInput(t *testing.T) {
 		// Out-of-range knob values surface as trial errors up front.
 		{"grid", "-matrix", "uniform", "-k", "3", "-eps", "0.3", "-delta", "0.1",
 			"-n", "2000", "-trials", "2", "-law-quant", "-1"},
+		// Sharding needs a per-shard checkpoint, a well-formed spec, and
+		// merge needs -out plus input files.
+		{"grid", "-shard", "0/2"},
+		{"grid", "-shard", "2/2", "-checkpoint", "x.json"},
+		{"grid", "-shard", "banana", "-checkpoint", "x.json"},
+		{"merge"},
+		{"merge", "-out", "m.json"},
 	}
 	for _, args := range cases {
 		if err := run(args, io.Discard); err == nil {
@@ -157,6 +164,56 @@ func TestParseInt64sScientific(t *testing.T) {
 		if _, err := parseInt64s(bad); err == nil {
 			t.Fatalf("parseInt64s(%q) accepted", bad)
 		}
+	}
+}
+
+// TestChaosShardMergeCLI drives the full sharded workflow through the
+// CLI surface: two -shard runs, `sweep merge`, and byte-identity of
+// the merged journal with a single-host -checkpoint run.
+func TestChaosShardMergeCLI(t *testing.T) {
+	dir := t.TempDir()
+	gridArgs := func(extra ...string) []string {
+		return append([]string{"grid", "-matrix", "uniform", "-k", "3", "-eps", "0.2,0.3",
+			"-delta", "0.1", "-n", "2000", "-trials", "3", "-seed", "5"}, extra...)
+	}
+	refPath := filepath.Join(dir, "ref.json")
+	if err := run(gridArgs("-checkpoint", refPath), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	shard0 := filepath.Join(dir, "shard0.json")
+	shard1 := filepath.Join(dir, "shard1.json")
+	if err := run(gridArgs("-shard", "0/2", "-checkpoint", shard0), io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	var shardOut strings.Builder
+	if err := run(gridArgs("-shard", "1/2", "-checkpoint", shard1), &shardOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(shardOut.String(), "shard 1/2") {
+		t.Fatalf("shard run output does not name its shard:\n%s", shardOut.String())
+	}
+	// Merging only one shard strictly must fail loudly.
+	merged := filepath.Join(dir, "merged.json")
+	if err := run([]string{"merge", "-out", merged, shard0}, io.Discard); err == nil {
+		t.Fatal("strict merge with a missing shard accepted")
+	}
+	var mergeOut strings.Builder
+	if err := run([]string{"merge", "-out", merged, shard0, shard1}, &mergeOut); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(mergeOut.String(), "merged 2 shard(s) of 2") {
+		t.Fatalf("merge output:\n%s", mergeOut.String())
+	}
+	ref, err := os.ReadFile(refPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(merged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(ref) != string(got) {
+		t.Fatal("merged shard checkpoints differ from the single-host journal byte for byte")
 	}
 }
 

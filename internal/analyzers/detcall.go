@@ -9,8 +9,9 @@ import (
 
 // DetCallAnalyzer closes the cross-package escape hatch the syntactic
 // determinism pass leaves open: that pass flags nondeterminism
-// sources (map ranges, wall clocks, math/rand, append fan-in,
-// obs.WallClock literals) only in the file that contains them, so a
+// sources (map ranges, wall-clock reads and sleeps, math/rand, append
+// fan-in, obs.WallClock/WallSleeper literals) only in the file that
+// contains them, so a
 // deterministic package calling a helper in an un-annotated package
 // that ranges a map was invisible. detcall computes a
 // nondeterminism-taint summary for every function of every analyzed
@@ -136,8 +137,8 @@ func directTaint(pass *Pass, body *ast.BlockStmt) (bool, string) {
 				}
 			}
 		case *ast.CompositeLit:
-			if isObsWallClock(pass.TypeOf(n)) {
-				mark(n, "constructs obs.WallClock")
+			if name := obsWallType(pass.TypeOf(n)); name != "" {
+				mark(n, "constructs obs."+name)
 			}
 		case *ast.GoStmt:
 			for _, shared := range goroutineSharedAppends(pass, n) {
@@ -158,8 +159,11 @@ func stdlibTaint(fn *types.Func) (string, bool) {
 	}
 	switch pkg.Path() {
 	case "time":
-		if fn.Name() == "Now" || fn.Name() == "Since" {
+		switch fn.Name() {
+		case "Now", "Since":
 			return "reads the wall clock via time." + fn.Name(), true
+		case "Sleep":
+			return "pauses on the wall clock via time.Sleep", true
 		}
 	case "math/rand", "math/rand/v2":
 		return "draws from global " + pkg.Path() + " state", true

@@ -17,18 +17,21 @@ import (
 //     run;
 //  2. importing math/rand (global, seed-shared state; the repo's
 //     streams come from internal/rng and fork deterministically);
-//  3. calling time.Now / time.Since on result paths — wall-clock
-//     values must never reach results (harness timing lives outside
-//     deterministic packages);
+//  3. calling time.Now / time.Since / time.Sleep on result paths —
+//     wall-clock values must never reach results, and wall-clock
+//     pauses gate result production on the scheduler (harness timing
+//     and pacing live outside deterministic packages; retry backoff
+//     waits through an injected obs.Sleeper);
 //  4. goroutine fan-in that appends to a shared slice — completion
 //     order decides element order; workers must write index-keyed
 //     slots instead;
-//  5. constructing obs.WallClock — the one internal/obs type that
-//     reads the wall clock. Deterministic packages may hold and use
-//     an injected obs.Clock (timing through obs.Now/obs.SinceSeconds
-//     is the blessed pattern, write-only by the DESIGN.md §2
-//     contract), but choosing the wall-clock implementation is the
-//     harness's call, made outside these packages.
+//  5. constructing obs.WallClock or obs.WallSleeper — the two
+//     internal/obs types that touch the wall clock. Deterministic
+//     packages may hold and use an injected obs.Clock or obs.Sleeper
+//     (timing through obs.Now/obs.SinceSeconds and pacing through
+//     obs.Sleep are the blessed patterns, write-only by the
+//     DESIGN.md §2 contract), but choosing the wall implementations
+//     is the harness's call, made outside these packages.
 //
 // Floating-point accumulation order is NOT checked here: the repo's
 // parallel merges are already index-keyed, and a sound check needs
@@ -58,12 +61,16 @@ func runDeterminism(pass *Pass) error {
 					pass.Reportf(n.Pos(), "range over map %s iterates in randomized order inside a deterministic package; iterate a sorted key slice, or justify with //nrlint:allow determinism -- <reason>", exprString(n.X))
 				}
 			case *ast.CallExpr:
-				if name := qualifiedCallee(pass, n); name == "time.Now" || name == "time.Since" {
+				switch name := qualifiedCallee(pass, n); name {
+				case "time.Now", "time.Since":
 					pass.Reportf(n.Pos(), "%s in a deterministic package: wall-clock values must not reach results; accept an injected obs.Clock and read it via obs.Now / obs.SinceSeconds, leaving obs.WallClock to the harness", name)
+				case "time.Sleep":
+					pass.Reportf(n.Pos(), "time.Sleep in a deterministic package: wall-clock pauses gate results on the scheduler; accept an injected obs.Sleeper and wait via obs.Sleep, leaving obs.WallSleeper to the harness")
 				}
 			case *ast.CompositeLit:
-				if isObsWallClock(pass.TypeOf(n)) {
-					pass.Reportf(n.Pos(), "obs.WallClock constructed in a deterministic package: the clock implementation is the harness's choice; accept an injected obs.Clock instead")
+				if name := obsWallType(pass.TypeOf(n)); name != "" {
+					iface := map[string]string{"WallClock": "Clock", "WallSleeper": "Sleeper"}[name]
+					pass.Reportf(n.Pos(), "obs.%s constructed in a deterministic package: the wall implementation is the harness's choice; accept an injected obs.%s instead", name, iface)
 				}
 			case *ast.GoStmt:
 				checkGoroutineAppend(pass, n)
@@ -148,18 +155,24 @@ func goroutineSharedAppends(pass *Pass, g *ast.GoStmt) []sharedAppend {
 	return out
 }
 
-// isObsWallClock reports whether t is internal/obs's WallClock — the
-// sole Clock implementation that reads the wall clock, recognized by
+// obsWallType returns "WallClock" or "WallSleeper" when t is one of
+// internal/obs's two wall-touching implementations — recognized by
 // name and defining package so the check survives vendoring or module
-// renames.
-func isObsWallClock(t types.Type) bool {
+// renames — and "" otherwise.
+func obsWallType(t types.Type) string {
 	named, ok := types.Unalias(t).(*types.Named)
 	if !ok {
-		return false
+		return ""
 	}
 	obj := named.Obj()
-	return obj.Name() == "WallClock" && obj.Pkg() != nil &&
-		strings.HasSuffix(obj.Pkg().Path(), "internal/obs")
+	if obj.Pkg() == nil || !strings.HasSuffix(obj.Pkg().Path(), "internal/obs") {
+		return ""
+	}
+	switch obj.Name() {
+	case "WallClock", "WallSleeper":
+		return obj.Name()
+	}
+	return ""
 }
 
 func isBuiltinAppend(pass *Pass, call *ast.CallExpr) bool {

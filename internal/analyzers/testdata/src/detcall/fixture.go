@@ -27,6 +27,10 @@ func clockTaintPositive() int64 {
 	return helper.Stamp() // want `call into nondeterministic helper\.Stamp \(reads the wall clock via time\.Now`
 }
 
+func sleepTaintPositive() {
+	helper.Backoff(3) // want `call into nondeterministic helper\.Backoff \(pauses on the wall clock via time\.Sleep`
+}
+
 func genericTaintPositive(m map[string]int) []int {
 	return helper.Vals(m) // want `call into nondeterministic helper\.Vals \(ranges over a map`
 }

@@ -67,3 +67,9 @@ func (t *Table) Flatten() int {
 
 // Size is a clean method on the same receiver.
 func (t *Table) Size() int { return len(t.Cells) }
+
+// Backoff is directly tainted: it pauses on the wall clock, gating
+// its caller's results on the scheduler.
+func Backoff(attempt int) {
+	time.Sleep(time.Duration(attempt) * time.Millisecond)
+}

@@ -94,6 +94,12 @@ var FlagRejections = []FlagRejection{
 		Hint:   "add -metrics-addr or drop -metrics-linger",
 		When:   func(s FlagState) bool { return s.Set["metrics-linger"] && !s.Set["metrics-addr"] },
 	},
+	{
+		Flag: "shard", Against: "checkpoint",
+		Reason: "runs one slice of the sweep, whose output exists only as a per-shard checkpoint for `sweep merge`; without -checkpoint the slice would be computed and thrown away",
+		Hint:   "add -checkpoint shard<i>.json or drop -shard",
+		When:   func(s FlagState) bool { return s.Set["shard"] && !s.Set["checkpoint"] },
+	},
 }
 
 // FlagIndependent lists the unordered pairs of conflict-participating
@@ -137,6 +143,29 @@ var FlagIndependent = [][2]string{
 	{"metrics-linger", "census-tol"},
 	{"metrics-linger", "correct"},
 	{"metrics-linger", "counts"},
+	// Sharding composes with every engine and knob — shards are plain
+	// index-residue slices of the same deterministic sweep — and its
+	// one real dependency (-shard needs -checkpoint) is rejected above.
+	// -checkpoint itself only became conflict-participating through
+	// that rule; it composes with everything else.
+	{"shard", "engine"},
+	{"shard", "backend"},
+	{"shard", "threads"},
+	{"shard", "law-quant"},
+	{"shard", "census-tol"},
+	{"shard", "correct"},
+	{"shard", "counts"},
+	{"shard", "metrics-addr"},
+	{"shard", "metrics-linger"},
+	{"checkpoint", "engine"},
+	{"checkpoint", "backend"},
+	{"checkpoint", "threads"},
+	{"checkpoint", "law-quant"},
+	{"checkpoint", "census-tol"},
+	{"checkpoint", "correct"},
+	{"checkpoint", "counts"},
+	{"checkpoint", "metrics-addr"},
+	{"checkpoint", "metrics-linger"},
 }
 
 // FlagUniverses lists, per CLI, the flags that participate in the
@@ -157,7 +186,7 @@ var FlagUniverses = map[string][]string{
 	// (registerCommon); mode-specific flags are pure value parameters.
 	"sweep": {
 		"seed", "workers", "checkpoint", "json", "engine", "law-quant", "census-tol",
-		"metrics-addr", "trace-out", "metrics-linger",
+		"metrics-addr", "trace-out", "metrics-linger", "shard",
 	},
 }
 

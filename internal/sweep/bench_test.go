@@ -1,10 +1,13 @@
 package sweep
 
 import (
+	"fmt"
+	"path/filepath"
 	"testing"
 
 	"github.com/gossipkit/noisyrumor/internal/census"
 	"github.com/gossipkit/noisyrumor/internal/obs"
+	"github.com/gossipkit/noisyrumor/internal/resilience"
 )
 
 // benchGrid is the 12-point threshold-straddling grid of the sweep
@@ -108,6 +111,74 @@ func BenchmarkSweepBisect(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		if _, err := (Runner{Seed: uint64(i + 1)}).RunBisect(spec); err != nil {
 			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepGridPointsResil is the exact-law grid with the full
+// resilience seam armed but never firing: a no-rule SeededInjector on
+// every fault site plus the default retry policy. benchjson derives
+// resilience_overhead_pct from this and the uninstrumented headline;
+// the robustness contract budgets the always-on seam at ≤ 2%.
+func BenchmarkSweepGridPointsResil(b *testing.B) {
+	g := benchGrid(0)
+	pts, err := g.Points()
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r := Runner{Seed: uint64(i + 1), Inject: resilience.NewSeededInjector(uint64(i + 1))}
+		res, err := r.RunGrid(g)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(res.Points) != len(pts) {
+			b.Fatal("short grid")
+		}
+	}
+	b.ReportMetric(float64(len(pts))*float64(b.N)/b.Elapsed().Seconds(), "points/s")
+}
+
+// BenchmarkShardMerge measures `sweep merge` itself: combining four
+// shard journals (512 synthetic bisect evaluations, custody-split by
+// residue) into the single-host journal, the cost benchjson records
+// as sweep_shard_merge_secs. The shard files are built once outside
+// the timer; each iteration re-reads, validates and rewrites the
+// merged journal from scratch.
+func BenchmarkShardMerge(b *testing.B) {
+	const (
+		shards = 4
+		points = 512
+	)
+	dir := b.TempDir()
+	paths := make([]string, shards)
+	for s := 0; s < shards; s++ {
+		paths[s] = filepath.Join(dir, fmt.Sprintf("shard%d.json", s))
+		ck, err := openCheckpointFile(paths[s], "bisect", 7, DefaultZ,
+			Shard{Index: s, Of: shards}, ckTestSpec{Name: "bench"}, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for k := s; k < points; k += shards {
+			if err := ck.put(k, testPointResult(k)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := ck.close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	out := filepath.Join(dir, "merged.json")
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep, err := Merge(out, false, paths...)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if rep.Points != points {
+			b.Fatalf("merged %d points, want %d", rep.Points, points)
 		}
 	}
 }

@@ -83,6 +83,9 @@ type BisectResult struct {
 	// QuantBudget is the quantization leg of ErrorBudget (zero for
 	// exact runs).
 	QuantBudget float64 `json:"quant_budget,omitempty"`
+	// Salvaged counts damaged checkpoint lines dropped (and recomputed)
+	// on resume.
+	Salvaged int `json:"salvaged,omitempty"`
 }
 
 // Contains reports whether eps lies in the critical band, with a tiny
@@ -130,7 +133,16 @@ func (b Bisect) point(idx int, eps float64) Point {
 // search is a pure function of (spec, seed) for any worker count.
 // With Runner.Checkpoint set, completed evaluations persist and a
 // resumed search replays the identical decision sequence.
+//
+// A sharded runner computes every evaluation (the adaptive search is
+// inherently sequential) but persists only the evaluation indices its
+// shard owns — custody partitioning, so shard checkpoints still merge
+// into the single-host journal. A quarantined evaluation aborts the
+// search: unlike a grid, bisection cannot step past a missing result.
 func (r Runner) RunBisect(b Bisect) (*BisectResult, error) {
+	if err := r.Shard.Validate(); err != nil {
+		return nil, err
+	}
 	if err := b.validate(); err != nil {
 		return nil, err
 	}
@@ -138,11 +150,12 @@ func (r Runner) RunBisect(b Bisect) (*BisectResult, error) {
 	if maxEvals <= 0 {
 		maxEvals = 40
 	}
-	ck, err := openCheckpoint(r.Checkpoint, "bisect", r.Seed, r.z(), b)
+	ck, err := r.openCheckpoint("bisect", b)
 	if err != nil {
 		return nil, err
 	}
-	res := &BisectResult{BandLo: math.Inf(1), BandHi: math.Inf(-1)}
+	defer ck.abandon()
+	res := &BisectResult{BandLo: math.Inf(1), BandHi: math.Inf(-1), Salvaged: ck.salvagedCount()}
 	runners := r.newTrialRunners(r.workers())
 	eval := func(eps float64) (BisectEval, error) {
 		idx := len(res.Evals)
@@ -153,6 +166,15 @@ func (r Runner) RunBisect(b Bisect) (*BisectResult, error) {
 			pr, err = r.evalPointAdaptive(b.point(idx, eps), b.Batch, runners)
 			if err != nil {
 				return BisectEval{}, err
+			}
+			if pr.Error != nil {
+				r.observePoint(pr, t0, true)
+				// Persist the quarantine record for accounting, then stop:
+				// the adaptive search cannot continue past a failed
+				// evaluation — re-run to retry it.
+				_ = r.putCheckpoint(ck, idx, pr)
+				return BisectEval{}, fmt.Errorf("sweep: bisect eval %d (ε=%v) quarantined after trial %d: %s; the adaptive search cannot continue past a failed evaluation — re-run to retry it",
+					idx, eps, pr.Error.Trial, pr.Error.Msg)
 			}
 			if err := r.putCheckpoint(ck, idx, pr); err != nil {
 				return BisectEval{}, err
@@ -214,6 +236,9 @@ func (r Runner) RunBisect(b Bisect) (*BisectResult, error) {
 	}
 	if res.BandHi < hi {
 		res.BandHi = hi
+	}
+	if err := ck.close(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

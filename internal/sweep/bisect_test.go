@@ -121,7 +121,7 @@ func TestBisectCheckpointResume(t *testing.T) {
 		t.Fatal(err)
 	}
 	path := filepath.Join(t.TempDir(), "bisect.json")
-	ck, err := openCheckpoint(path, "bisect", 21, DefaultZ, b)
+	ck, err := openCheckpointFile(path, "bisect", 21, DefaultZ, Shard{}, b, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -131,6 +131,9 @@ func TestBisectCheckpointResume(t *testing.T) {
 		if err := ck.put(i, ref.Evals[i].Result); err != nil {
 			t.Fatal(err)
 		}
+	}
+	if err := ck.close(); err != nil {
+		t.Fatal(err)
 	}
 	resumed, err := Runner{Seed: 21, Workers: 2, Checkpoint: path}.RunBisect(b)
 	if err != nil {

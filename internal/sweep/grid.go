@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"github.com/gossipkit/noisyrumor/internal/obs"
+	"github.com/gossipkit/noisyrumor/internal/resilience"
 )
 
 // Grid is a cartesian parameter fan: every combination of the listed
@@ -45,7 +46,10 @@ type Grid struct {
 	CensusTol float64 `json:"census_tol,omitempty"`
 }
 
-// GridResult is an evaluated grid, points in enumeration order.
+// GridResult is an evaluated grid, points in enumeration order. A
+// sharded run carries only the shard's own points (Shard records
+// which); the full result is recovered by merging the shard
+// checkpoints (see Merge).
 type GridResult struct {
 	Points []PointResult `json:"points"`
 	// ErrorBudget is the summed approximation budget of every trial of
@@ -56,6 +60,13 @@ type GridResult struct {
 	// law-level certificates of every quantized phase (zero for exact
 	// sweeps).
 	QuantBudget float64 `json:"quant_budget,omitempty"`
+	// Shard is the slice this run evaluated (nil = the whole grid).
+	Shard *Shard `json:"shard,omitempty"`
+	// Quarantined lists point indices skipped after classified failures
+	// (their PointResult carries the record); Salvaged counts damaged
+	// checkpoint lines dropped and recomputed on resume.
+	Quarantined []int `json:"quarantined,omitempty"`
+	Salvaged    int   `json:"salvaged,omitempty"`
 }
 
 // Points enumerates the grid in its deterministic order.
@@ -103,23 +114,34 @@ func (g Grid) Points() ([]Point, error) {
 	return pts, nil
 }
 
-// RunGrid evaluates every grid point. With Runner.Checkpoint set, each
-// completed point is persisted and a compatible existing file resumes
-// where it left off; the final result is bit-identical either way
-// (every point is a pure function of the spec, the seed and its
-// index).
+// RunGrid evaluates every grid point the runner's shard owns. With
+// Runner.Checkpoint set, each completed point is persisted and a
+// compatible existing file resumes where it left off; the final result
+// is bit-identical either way (every point is a pure function of the
+// spec, the seed and its index). A point whose trials keep failing
+// with classified errors is quarantined — recorded and skipped, the
+// run continues — unless the quarantine streak trips the breaker
+// (Runner.BreakAfter), which aborts a systemically failing run.
 func (r Runner) RunGrid(g Grid) (*GridResult, error) {
+	if err := r.Shard.Validate(); err != nil {
+		return nil, err
+	}
 	pts, err := g.Points()
 	if err != nil {
 		return nil, err
 	}
-	ck, err := openCheckpoint(r.Checkpoint, "grid", r.Seed, r.z(), g)
+	ck, err := r.openCheckpoint("grid", g)
 	if err != nil {
 		return nil, err
 	}
-	res := &GridResult{Points: make([]PointResult, len(pts))}
+	defer ck.abandon()
+	res := &GridResult{Shard: r.Shard.ptr(), Salvaged: ck.salvagedCount()}
 	runners := r.newTrialRunners(r.workers())
-	for i, p := range pts {
+	breaker := resilience.NewBreaker(r.breakAfter())
+	for _, p := range pts {
+		if !r.Shard.Owns(p.Index) {
+			continue
+		}
 		t0 := obs.Now(r.Obs.Clock)
 		pr, ok := ck.get(p.Index)
 		if !ok {
@@ -132,9 +154,19 @@ func (r Runner) RunGrid(g Grid) (*GridResult, error) {
 			}
 		}
 		r.observePoint(pr, t0, !ok)
-		res.Points[i] = pr
+		breaker.Record(pr.Error != nil)
+		if err := breaker.Err(); err != nil {
+			return nil, fmt.Errorf("sweep: grid aborted at point %d: %w", p.Index, err)
+		}
+		if pr.Error != nil {
+			res.Quarantined = append(res.Quarantined, p.Index)
+		}
+		res.Points = append(res.Points, pr)
 		res.ErrorBudget += pr.ErrorBudget
 		res.QuantBudget += pr.QuantBudget
+	}
+	if err := ck.close(); err != nil {
+		return nil, err
 	}
 	return res, nil
 }

@@ -1,9 +1,12 @@
 package sweep
 
 import (
+	"fmt"
+
 	"github.com/gossipkit/noisyrumor/internal/census"
 	"github.com/gossipkit/noisyrumor/internal/model"
 	"github.com/gossipkit/noisyrumor/internal/obs"
+	"github.com/gossipkit/noisyrumor/internal/rng"
 )
 
 // Metrics is the sweep layer's instrument bundle. Like every bundle in
@@ -21,6 +24,10 @@ type Metrics struct {
 	pointsPerSec *obs.Gauge      // sweep_points_per_sec
 	errMass      *obs.Gauge      // sweep_error_budget
 	quantMass    *obs.Gauge      // sweep_quant_budget
+	retries      *obs.Counter    // sweep_retries_total
+	quarantined  *obs.Counter    // sweep_points_quarantined
+	backoff      *obs.Histogram  // resilience_backoff_seconds
+	salvagedPts  *obs.Counter    // checkpoint_salvaged_points
 }
 
 // NewMetrics registers the sweep metric family against reg. A nil
@@ -47,6 +54,14 @@ func NewMetrics(reg *obs.Registry) *Metrics {
 			"Accumulated Lemma-3 approximation budget over evaluated points."),
 		quantMass: reg.Gauge("sweep_quant_budget",
 			"Quantization leg of the accumulated budget."),
+		retries: reg.Counter("sweep_retries_total",
+			"Retry attempts after transient failures (trials and checkpoint I/O)."),
+		quarantined: reg.Counter("sweep_points_quarantined",
+			"Points quarantined after a classified failure exhausted its retries."),
+		backoff: reg.Histogram("resilience_backoff_seconds",
+			"Backoff delays scheduled between retry attempts.", obs.LogBuckets(1e-4, 4, 10)),
+		salvagedPts: reg.Counter("checkpoint_salvaged_points",
+			"Damaged checkpoint journal lines dropped (and recomputed) on open."),
 	}
 }
 
@@ -83,6 +98,18 @@ func (r Runner) observePoint(pr PointResult, startNS int64, fresh bool) {
 	if !fresh {
 		return
 	}
+	if pr.Error != nil {
+		if m := r.Obs.Metrics; m != nil {
+			m.quarantined.Inc()
+		}
+		if tr := r.Obs.Tracer; tr != nil {
+			tr.Event("point_quarantined",
+				obs.F("index", pr.Point.Index),
+				obs.F("trial", pr.Error.Trial),
+				obs.F("permanent", pr.Error.Permanent))
+		}
+		return
+	}
 	if m := r.Obs.Metrics; m != nil {
 		m.points.Inc()
 		m.errMass.Add(pr.ErrorBudget)
@@ -100,15 +127,33 @@ func (r Runner) observePoint(pr PointResult, startNS int64, fresh bool) {
 	}
 }
 
-// putCheckpoint is ck.put with write-latency accounting; a nil
-// checkpoint stays a silent no-op (nothing is recorded for it).
+// observeCheckpointOpen records salvage degradation after a journal
+// open: how many damaged lines were dropped for recompute.
+func (r Runner) observeCheckpointOpen(ck *checkpoint) {
+	n := ck.salvagedCount()
+	if n == 0 {
+		return
+	}
+	if m := r.Obs.Metrics; m != nil {
+		m.salvagedPts.Add(int64(n))
+	}
+	if tr := r.Obs.Tracer; tr != nil {
+		tr.Event("checkpoint_salvaged", obs.F("dropped", n))
+	}
+}
+
+// putCheckpoint is ck.put with transient-failure retries and
+// write-latency accounting; a nil checkpoint stays a silent no-op
+// (nothing is recorded for it).
 func (r Runner) putCheckpoint(ck *checkpoint, key int, pr PointResult) error {
 	if ck == nil {
 		return nil
 	}
 	t0 := obs.Now(r.Obs.Clock)
-	if err := ck.put(key, pr); err != nil {
-		return err
+	pol := r.retryPolicy()
+	jr := rng.New(rng.ForkSeed(r.Seed, putJitterSalt+uint64(key)))
+	if err := pol.Do(jr, func(int) error { return ck.put(key, pr) }); err != nil {
+		return fmt.Errorf("sweep: point %d could not be persisted: %w", key, err)
 	}
 	if m := r.Obs.Metrics; m != nil {
 		m.ckWrite.Observe(obs.SinceSeconds(r.Obs.Clock, t0))

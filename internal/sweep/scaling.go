@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"github.com/gossipkit/noisyrumor/internal/obs"
+	"github.com/gossipkit/noisyrumor/internal/resilience"
 	"github.com/gossipkit/noisyrumor/internal/stats"
 )
 
@@ -35,7 +36,10 @@ type Scaling struct {
 	CensusTol float64 `json:"census_tol,omitempty"`
 }
 
-// ScalingResult is the measured T(n) curve and its log-law fit.
+// ScalingResult is the measured T(n) curve and its log-law fit. A
+// sharded run carries only the shard's own points and leaves Fit zero
+// — the fit belongs to the merged curve, computed after Merge by a
+// single-host resume.
 type ScalingResult struct {
 	Points []PointResult `json:"points"`
 	// Fit is the least-squares line MeanRounds = Intercept +
@@ -47,6 +51,13 @@ type ScalingResult struct {
 	// QuantBudget is the quantization leg of ErrorBudget (zero for
 	// exact sweeps).
 	QuantBudget float64 `json:"quant_budget,omitempty"`
+	// Shard is the slice this run evaluated (nil = every n).
+	Shard *Shard `json:"shard,omitempty"`
+	// Quarantined lists point indices skipped after classified failures
+	// (excluded from the fit); Salvaged counts damaged checkpoint lines
+	// dropped and recomputed on resume.
+	Quarantined []int `json:"quarantined,omitempty"`
+	Salvaged    int   `json:"salvaged,omitempty"`
 }
 
 // RunScaling evaluates every population size and fits the log law.
@@ -63,15 +74,22 @@ func (r Runner) RunScaling(s Scaling) (*ScalingResult, error) {
 	if proto == 0 {
 		proto = s.ChannelEps
 	}
-	ck, err := openCheckpoint(r.Checkpoint, "scaling", r.Seed, r.z(), s)
+	if err := r.Shard.Validate(); err != nil {
+		return nil, err
+	}
+	ck, err := r.openCheckpoint("scaling", s)
 	if err != nil {
 		return nil, err
 	}
-	res := &ScalingResult{Points: make([]PointResult, len(s.Ns))}
+	defer ck.abandon()
+	res := &ScalingResult{Shard: r.Shard.ptr(), Salvaged: ck.salvagedCount()}
 	runners := r.newTrialRunners(r.workers())
-	x := make([]float64, len(s.Ns))
-	y := make([]float64, len(s.Ns))
+	breaker := resilience.NewBreaker(r.breakAfter())
+	var x, y []float64
 	for i, n := range s.Ns {
+		if !r.Shard.Owns(i) {
+			continue
+		}
 		p := Point{
 			Index:      i,
 			Matrix:     s.Matrix,
@@ -95,17 +113,36 @@ func (r Runner) RunScaling(s Scaling) (*ScalingResult, error) {
 			}
 		}
 		r.observePoint(pr, t0, !ok)
-		res.Points[i] = pr
+		breaker.Record(pr.Error != nil)
+		if err := breaker.Err(); err != nil {
+			return nil, fmt.Errorf("sweep: scaling aborted at n=%d: %w", n, err)
+		}
+		res.Points = append(res.Points, pr)
 		res.ErrorBudget += pr.ErrorBudget
 		res.QuantBudget += pr.QuantBudget
-		x[i] = math.Log(float64(n))
-		y[i] = pr.MeanRounds
+		if pr.Error != nil {
+			res.Quarantined = append(res.Quarantined, i)
+			continue // a quarantined point contributes nothing to the fit
+		}
+		x = append(x, math.Log(float64(n)))
+		y = append(y, pr.MeanRounds)
 	}
-	fit, err := stats.LinearFit(x, y)
-	if err != nil {
+	// The log-law fit only makes sense over the full curve: a sharded
+	// run leaves Fit zero for the post-merge single-host resume, and a
+	// quarantine-thinned curve must still have two good points.
+	if !r.Shard.Enabled() {
+		if len(x) < 2 {
+			return nil, fmt.Errorf("sweep: scaling has %d usable points after quarantine, need at least 2 to fit", len(x))
+		}
+		fit, err := stats.LinearFit(x, y)
+		if err != nil {
+			return nil, err
+		}
+		res.Fit = fit
+	}
+	if err := ck.close(); err != nil {
 		return nil, err
 	}
-	res.Fit = fit
 	return res, nil
 }
 

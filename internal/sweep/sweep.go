@@ -56,6 +56,7 @@ import (
 	"runtime"
 	"strconv"
 	"sync"
+	"time"
 
 	"github.com/gossipkit/noisyrumor/internal/census"
 	"github.com/gossipkit/noisyrumor/internal/checked"
@@ -63,6 +64,7 @@ import (
 	"github.com/gossipkit/noisyrumor/internal/model"
 	"github.com/gossipkit/noisyrumor/internal/noise"
 	"github.com/gossipkit/noisyrumor/internal/obs"
+	"github.com/gossipkit/noisyrumor/internal/resilience"
 	"github.com/gossipkit/noisyrumor/internal/rng"
 	"github.com/gossipkit/noisyrumor/internal/stats"
 )
@@ -129,7 +131,25 @@ type PointResult struct {
 	// per-phase law-level certificates over the point's trials (zero
 	// for exact runs).
 	QuantBudget float64 `json:"quant_budget,omitempty"`
+	// Error, when non-nil, marks the point quarantined: a trial failed
+	// with a classified (transient-after-retries or permanent) error or
+	// panicked, the statistics above are zeroed, and the run went on
+	// without it. Quarantine records persist in the checkpoint for
+	// accounting, but a resume recomputes them (checkpoint.get treats
+	// them as misses). Unclassified trial errors — bad specs, bad knob
+	// values — never quarantine: they abort the run up front as always.
+	Error *PointError `json:"error,omitempty"`
 }
+
+// PointError is a quarantined point's record: which trial sank it,
+// whether the failure was permanent, and the final error text.
+type PointError struct {
+	Trial     int    `json:"trial"`
+	Permanent bool   `json:"permanent,omitempty"`
+	Msg       string `json:"msg"`
+}
+
+func (e *PointError) Error() string { return e.Msg }
 
 // Runner executes sweeps. The zero value runs on GOMAXPROCS workers
 // at 95% confidence with seed 0 and no checkpointing.
@@ -157,6 +177,67 @@ type Runner struct {
 	// bit-identical either way. Obs deliberately lives on the Runner,
 	// not in Point/Params, so it never enters checkpoint identity.
 	Obs Instrumentation
+	// Shard restricts the run to its index-residue slice of the sweep
+	// (see Shard); the zero value runs everything. The shard is part of
+	// checkpoint identity, and Merge recombines shard checkpoints into
+	// the byte-identical single-host journal.
+	Shard Shard
+	// Inject, when non-nil, fires deterministic faults at the named
+	// sites — checkpoint/open, checkpoint/put/<key>, trial/<point>/<t>,
+	// and (via the law cache, whose injector this runner wires up)
+	// lawcache/store. The chaos-testing seam; nil is the production
+	// no-op and costs one branch per site.
+	Inject resilience.FaultInjector
+	// Retry is the backoff policy around checkpoint I/O and transient
+	// trial failures. The zero value means resilience.DefaultPolicy()
+	// with Retry.Sleeper carried over (harnesses inject
+	// obs.WallSleeper{}; tests leave it nil so retries never block).
+	// Backoff jitter is drawn from forks of Seed, so retried runs stay
+	// bit-identical.
+	Retry resilience.Policy
+	// BreakAfter trips the run-level breaker after this many
+	// consecutive quarantined points (0 = DefaultBreakAfter, negative =
+	// never): a systemic fault aborts loudly instead of quarantining
+	// the whole sweep.
+	BreakAfter int
+}
+
+// DefaultBreakAfter is the default quarantine streak that aborts a
+// run.
+const DefaultBreakAfter = 8
+
+func (r Runner) breakAfter() int {
+	switch {
+	case r.BreakAfter > 0:
+		return r.BreakAfter
+	case r.BreakAfter < 0:
+		return 0 // never trips
+	default:
+		return DefaultBreakAfter
+	}
+}
+
+// retryPolicy is the effective retry policy: Runner.Retry, defaulted
+// when zero, with the retry/backoff metrics chained onto OnBackoff.
+func (r Runner) retryPolicy() resilience.Policy {
+	p := r.Retry
+	if p.Attempts == 0 {
+		d := resilience.DefaultPolicy()
+		d.Sleeper = p.Sleeper
+		d.OnBackoff = p.OnBackoff
+		p = d
+	}
+	if m := r.Obs.Metrics; m != nil {
+		inner := p.OnBackoff
+		p.OnBackoff = func(attempt int, delay time.Duration) {
+			m.retries.Inc()
+			m.backoff.Observe(delay.Seconds())
+			if inner != nil {
+				inner(attempt, delay)
+			}
+		}
+	}
+	return p
 }
 
 func (r Runner) workers() int {
@@ -198,6 +279,9 @@ func (r Runner) newTrialRunners(workers int) []*core.CensusRunner {
 	cache := r.Cache
 	if cache == nil {
 		cache = census.NewLawCache()
+	}
+	if r.Inject != nil {
+		cache.SetInjector(r.Inject)
 	}
 	out := make([]*core.CensusRunner, workers)
 	for i := range out {
@@ -334,6 +418,59 @@ func runPerNodeTrial(p Point, nm *noise.Matrix, counts []int64, r *rng.Rand, mm 
 	return trialOut{correct: res.Correct, rounds: rounds}
 }
 
+// retryJitterSalt offsets the backoff-jitter stream forks away from
+// the trial-index forks of the same point seed (trial indices are
+// small; these salts are far outside any plausible trial count).
+const retryJitterSalt = 0x5245545259 // "RETRY"
+
+// trialSite names a trial's fault-injection site.
+func trialSite(point, trial int) string {
+	return "trial/" + strconv.Itoa(point) + "/" + strconv.Itoa(trial)
+}
+
+// resilientTrial runs one trial with panic containment, fault
+// injection, and transient-failure retries. Every attempt replays the
+// identical stream rng.New(ForkSeed(pointSeed, t)) from scratch, so a
+// trial that succeeds on retry is bit-identical to one that never
+// failed — resilience is invisible in results, only in metrics. The
+// fast path (no fault, no panic — i.e. production) costs one deferred
+// recover and one nil check over the bare call; the jitter stream is
+// only forked once a retry is actually needed.
+func (r Runner) resilientTrial(pol resilience.Policy, pointIndex, t int, pointSeed uint64,
+	cr *core.CensusRunner, fn func(trial int, r *rng.Rand, cr *core.CensusRunner) trialOut) trialOut {
+
+	attempt := func() (out trialOut) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				out = trialOut{err: resilience.Transient(fmt.Errorf("sweep: point %d trial %d panicked: %v", pointIndex, t, rec))}
+			}
+		}()
+		if r.Inject != nil {
+			if err := r.Inject.Fire(trialSite(pointIndex, t)); err != nil {
+				return trialOut{err: err}
+			}
+		}
+		return fn(t, rng.New(rng.ForkSeed(pointSeed, uint64(t))), cr)
+	}
+
+	out := attempt()
+	if out.err == nil || !resilience.IsTransient(out.err) {
+		return out // success, or permanent/unclassified: not retryable
+	}
+	jr := rng.New(rng.ForkSeed(pointSeed, retryJitterSalt+uint64(t)))
+	err := pol.Do(jr, func(a int) error {
+		if a == 0 {
+			return out.err // the first attempt already ran
+		}
+		out = attempt()
+		return out.err
+	})
+	if err != nil {
+		out.err = err
+	}
+	return out
+}
+
 // parallelTrials runs trials start..start+count−1 of a point over a
 // bounded worker pool, in trial order. Trial t's stream is
 // ForkSeed(pointSeed, t) — a pure function of position, so any worker
@@ -341,14 +478,17 @@ func runPerNodeTrial(p Point, nm *noise.Matrix, counts []int64, r *rng.Rand, mm 
 // through runners[w], whose engine is reused (and reset) per trial;
 // which worker runs which trial does not affect results — the
 // per-worker trial and busy-time telemetry records the (scheduling-
-// dependent) split without ever feeding back into it.
-func (r Runner) parallelTrials(runners []*core.CensusRunner, start, count int, pointSeed uint64,
+// dependent) split without ever feeding back into it. Each trial runs
+// under resilientTrial: panics are contained and transient failures
+// retried with per-trial deterministic jitter.
+func (r Runner) parallelTrials(runners []*core.CensusRunner, pointIndex, start, count int, pointSeed uint64,
 	fn func(trial int, r *rng.Rand, cr *core.CensusRunner) trialOut) []trialOut {
 
 	out := make([]trialOut, count)
 	if count == 0 {
 		return out
 	}
+	pol := r.retryPolicy()
 	workers := len(runners)
 	if workers > count {
 		workers = count
@@ -372,7 +512,7 @@ func (r Runner) parallelTrials(runners []*core.CensusRunner, start, count int, p
 			clk := r.Obs.Clock
 			for t := range next {
 				t0 := obs.Now(clk)
-				out[t-start] = fn(t, rng.New(rng.ForkSeed(pointSeed, uint64(t))), cr)
+				out[t-start] = r.resilientTrial(pol, pointIndex, t, pointSeed, cr, fn)
 				if m != nil {
 					m.trials.Inc()
 					workerTrials.Inc()
@@ -407,7 +547,7 @@ func (r Runner) evalPoint(p Point, runners []*core.CensusRunner) (PointResult, e
 		return PointResult{}, fmt.Errorf("sweep: point %d: %w", p.Index, err)
 	}
 	pointSeed := rng.ForkSeed(r.Seed, uint64(p.Index))
-	outs := r.parallelTrials(runners, 0, p.Trials, pointSeed, func(t int, tr *rng.Rand, cr *core.CensusRunner) trialOut {
+	outs := r.parallelTrials(runners, p.Index, 0, p.Trials, pointSeed, func(t int, tr *rng.Rand, cr *core.CensusRunner) trialOut {
 		return runTrial(p, nm, counts, tr, cr, r.Obs.Model)
 	})
 	return r.aggregate(p, outs)
@@ -440,13 +580,16 @@ func (r Runner) evalPointAdaptive(p Point, batch int, runners []*core.CensusRunn
 		if rem := p.Trials - len(outs); count > rem {
 			count = rem
 		}
-		chunk := r.parallelTrials(runners, len(outs), count, pointSeed, func(t int, tr *rng.Rand, cr *core.CensusRunner) trialOut {
+		chunk := r.parallelTrials(runners, p.Index, len(outs), count, pointSeed, func(t int, tr *rng.Rand, cr *core.CensusRunner) trialOut {
 			return runTrial(p, nm, counts, tr, cr, r.Obs.Model)
 		})
 		outs = append(outs, chunk...)
 		res, err := r.aggregate(p, outs)
 		if err != nil {
 			return PointResult{}, err
+		}
+		if res.Error != nil {
+			return res, nil // quarantined: no point running more batches
 		}
 		if res.WilsonLo > 0.5 || res.WilsonHi < 0.5 {
 			if m := r.Obs.Metrics; m != nil && len(outs) < p.Trials {
@@ -458,12 +601,24 @@ func (r Runner) evalPointAdaptive(p Point, batch int, runners []*core.CensusRunn
 	return r.aggregate(p, outs)
 }
 
-// aggregate folds trial outcomes into a PointResult.
+// aggregate folds trial outcomes into a PointResult. A trial that
+// still carries a classified error after retries (an injected fault,
+// a contained panic, failed I/O) quarantines the whole point: the
+// statistics are zeroed, Error records the failure, and the caller's
+// run continues without it. Unclassified errors are spec/config
+// mistakes and abort the run as always.
 func (r Runner) aggregate(p Point, outs []trialOut) (PointResult, error) {
 	res := PointResult{Point: p, Trials: len(outs)}
 	sumRounds := 0.0
 	for i, o := range outs {
 		if o.err != nil {
+			if resilience.Classified(o.err) {
+				return PointResult{Point: p, Error: &PointError{
+					Trial:     i,
+					Permanent: resilience.IsPermanent(o.err),
+					Msg:       o.err.Error(),
+				}}, nil
+			}
 			return PointResult{}, fmt.Errorf("sweep: point %d trial %d: %w", p.Index, i, o.err)
 		}
 		if o.correct {

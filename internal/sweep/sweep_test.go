@@ -1,7 +1,7 @@
 package sweep
 
 import (
-	"encoding/json"
+	"bytes"
 	"os"
 	"path/filepath"
 	"reflect"
@@ -105,27 +105,17 @@ func TestCheckpointResumeRoundTrip(t *testing.T) {
 	if !reflect.DeepEqual(ref, first) {
 		t.Fatal("checkpointed run differs from uncheckpointed reference")
 	}
-	// Simulate an interruption after half the points.
+	// Simulate an interruption after half the points: keep the header
+	// line and the first four entry lines of the journal.
 	data, err := os.ReadFile(path)
 	if err != nil {
 		t.Fatal(err)
 	}
-	var state map[string]json.RawMessage
-	if err := json.Unmarshal(data, &state); err != nil {
-		t.Fatal(err)
+	lines := bytes.SplitAfter(data, []byte("\n"))
+	if got := len(lines) - 1; got != 9 { // header + 8 entries (+ empty tail slice)
+		t.Fatalf("checkpoint journal holds %d lines, want 9", got)
 	}
-	var results map[string]PointResult
-	if err := json.Unmarshal(state["results"], &results); err != nil {
-		t.Fatal(err)
-	}
-	if len(results) != 8 {
-		t.Fatalf("checkpoint holds %d results, want 8", len(results))
-	}
-	for _, key := range []string{"4", "5", "6", "7"} {
-		delete(results, key)
-	}
-	state["results"], _ = json.Marshal(results)
-	trunc, _ := json.Marshal(state)
+	trunc := bytes.Join(lines[:5], nil)
 	if err := os.WriteFile(path, trunc, 0o644); err != nil {
 		t.Fatal(err)
 	}
@@ -135,6 +125,14 @@ func TestCheckpointResumeRoundTrip(t *testing.T) {
 	}
 	if !reflect.DeepEqual(ref, resumed) {
 		t.Fatal("resumed run differs from the uninterrupted reference")
+	}
+	// The resumed journal must land on the canonical single-host bytes.
+	after, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(after, data) {
+		t.Fatal("resumed journal differs from the uninterrupted journal byte for byte")
 	}
 	// A different seed must refuse the stale checkpoint rather than
 	// silently mixing streams.
